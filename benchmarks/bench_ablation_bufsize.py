@@ -1,0 +1,43 @@
+"""Ablation: the receive-buffer-size search of Section 4.1.
+
+The paper "determined the best size by running the throughput benchmarks
+with increasing buffer size until further increases did not improve
+throughput" — small buffers throttle the window; beyond the
+bandwidth-delay-plus-processing product, more buffer stops helping.
+"""
+
+from conftest import once, show
+
+from repro.analysis.experiments import search_best_rcvbuf
+from repro.analysis.tables import format_table
+
+SIZES_KB = (4, 8, 16, 24, 48, 120)
+
+
+def test_rcvbuf_search(benchmark):
+    def run():
+        results = {}
+        for key in ("mach25", "library-shm-ipf", "ux"):
+            results[key] = search_best_rcvbuf(
+                key, sizes_kb=SIZES_KB, total_bytes=1024 * 1024
+            )
+        return results
+
+    results = once(benchmark, run)
+    rows = []
+    for key, (best, sweep) in results.items():
+        rows.append([key] + ["%.0f" % sweep[kb] for kb in SIZES_KB]
+                    + ["%d KB" % best])
+    show(
+        "Section 4.1 ablation — throughput (KB/s) vs receive buffer size",
+        format_table(["System"] + ["%dKB" % kb for kb in SIZES_KB] + ["best"],
+                     rows),
+    )
+
+    for key, (best, sweep) in results.items():
+        # Tiny buffers throttle throughput hard...
+        assert sweep[4] < 0.8 * sweep[best], key
+        # ...and the curve is effectively monotone up to the knee.
+        assert sweep[16] >= sweep[8] * 0.98, key
+        # Beyond the knee, growth is marginal.
+        assert sweep[120] <= sweep[best] * 1.05, key

@@ -1,0 +1,57 @@
+"""Ablation: delayed acknowledgements.
+
+Every system the paper measures inherits BSD's delayed-ACK policy (ack
+every second full-size segment, or at the 200 ms fast timer).  This
+ablation turns it off — ACK every segment — and measures the embedded
+trade-off.  The emergent result: bulk throughput barely moves (the extra
+ACKs cost receiver CPU but also ack-clock the sender harder), while
+request/response latency gets visibly *worse* — the eager pure ACK goes
+out on the wire ahead of the application's reply and delays it, where
+the delayed-ACK policy lets the reply carry the acknowledgement.
+"""
+
+from conftest import once, show
+
+from repro.analysis.tables import format_table
+from repro.apps.protolat import protolat
+from repro.apps.ttcp import ttcp
+from repro.world.configs import build_network
+
+MB = 1024 * 1024
+
+
+def measure(delayed_ack):
+    tcp_defaults = {"delayed_ack": delayed_ack}
+    network, pa, pb = build_network("library-shm-ipf",
+                                    tcp_defaults=tcp_defaults)
+    tput = ttcp(network, pb, pa, total_bytes=2 * MB, rcvbuf_kb=120)
+    acks = network.wire.frames_carried
+    net2, pa2, pb2 = build_network("library-shm-ipf",
+                                   tcp_defaults=tcp_defaults)
+    lat = protolat(net2, pb2, pa2, proto="tcp", message_size=64, rounds=40)
+    return tput.throughput_kbs, acks, lat.mean_rtt_ms
+
+
+def test_delayed_ack_ablation(benchmark):
+    def run():
+        return {"delayed": measure(True), "every-segment": measure(False)}
+
+    results = once(benchmark, run)
+    rows = []
+    for label, (tput, frames, rtt) in results.items():
+        rows.append([label, "%.0f" % tput, "%d" % frames, "%.2f" % rtt])
+    show(
+        "Delayed-ACK ablation — library-SHM-IPF, 2 MB ttcp + 64 B echo",
+        format_table(
+            ["ACK policy", "ttcp KB/s", "wire frames", "echo RTT ms"], rows
+        ),
+    )
+    delayed_tput, delayed_frames, delayed_rtt = results["delayed"]
+    eager_tput, eager_frames, eager_rtt = results["every-segment"]
+    # ACK-every-segment puts noticeably more frames on the wire...
+    assert eager_frames > 1.2 * delayed_frames
+    # ...while bulk throughput is a wash (CPU cost vs tighter ack clock)...
+    assert abs(eager_tput - delayed_tput) / delayed_tput < 0.05
+    # ...and small request/response RTT suffers: the eager pure ACK
+    # serializes ahead of the application's reply.
+    assert eager_rtt > 1.2 * delayed_rtt

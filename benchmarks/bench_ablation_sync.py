@@ -1,0 +1,63 @@
+"""Ablation: the server's synchronization package (Section 4.3, fn. 4).
+
+The paper attributes much of the UX server's slowness to its
+simulated-spl synchronization ("priority levels and locks ... resulting
+in expensive priority manipulation"), noting the mechanisms were later
+"replaced with lighter-weight versions".  This ablation runs the same
+server with both lock packages and quantifies what the heavyweight
+machinery costs.
+"""
+
+from conftest import once, show
+
+from repro.analysis.tables import format_table
+from repro.apps.protolat import protolat
+from repro.apps.ttcp import ttcp
+from repro.world.configs import CONFIGS, Placement, build_network
+from repro.world.network import Network
+from repro.hw.platforms import DECSTATION_5000_200
+
+import dataclasses
+
+
+def build_ux(heavyweight):
+    spec = dataclasses.replace(CONFIGS["ux"], heavyweight_sync=heavyweight)
+    network = Network()
+    placements = []
+    for i, addr in enumerate(("10.0.0.1", "10.0.0.2")):
+        host = network.add_host(addr, DECSTATION_5000_200,
+                                name="dec%d" % (i + 1))
+        placements.append(Placement(spec, host))
+    return network, placements[0], placements[1]
+
+
+def measure(heavyweight):
+    net, pa, pb = build_ux(heavyweight)
+    tput = ttcp(net, pb, pa, total_bytes=1024 * 1024, rcvbuf_kb=24)
+    net2, pa2, pb2 = build_ux(heavyweight)
+    lat = protolat(net2, pb2, pa2, proto="udp", message_size=1, rounds=40)
+    return tput.throughput_kbs, lat.mean_rtt_ms
+
+
+def test_sync_package_ablation(benchmark):
+    def run():
+        return {"spl": measure(True), "light": measure(False)}
+
+    results = once(benchmark, run)
+    rows = [
+        ["UX + simulated-spl sync", "%.0f" % results["spl"][0],
+         "%.2f" % results["spl"][1]],
+        ["UX + lightweight locks", "%.0f" % results["light"][0],
+         "%.2f" % results["light"][1]],
+    ]
+    show(
+        "Section 4.3 ablation — the server's synchronization package",
+        format_table(["Configuration", "ttcp KB/s", "udp 1B RTT ms"], rows),
+    )
+    spl_tput, spl_lat = results["spl"]
+    light_tput, light_lat = results["light"]
+    # Lighter locks recover a solid chunk of the server's deficit, but the
+    # RPC-per-call architecture still keeps it below library/kernel levels.
+    assert light_tput > 1.05 * spl_tput
+    assert light_lat < 0.9 * spl_lat
+    assert light_tput < 1000  # still not kernel-class

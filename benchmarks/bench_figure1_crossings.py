@@ -1,0 +1,87 @@
+"""Figure 1: critical-path structure of the three architectures.
+
+The figure's claim is architectural: in the decomposed system the
+application's send/receive path touches only the library and the kernel's
+network interface, never the OS server.  We regenerate it as numbers: the
+protection-boundary crossings, data copies, and server RPCs per data
+operation for each placement.
+"""
+
+from conftest import once, show
+
+from repro.analysis.tables import format_table
+from repro.core.sockets import SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+ROUNDS = 20
+
+
+def measure(config_key):
+    """Crossings/copies/RPCs per send+recv round trip on the client."""
+    net, pa, pb = build_network(config_key)
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7900)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        for _ in range(ROUNDS):
+            data = yield from api_a.recv_exactly(cfd, 64)
+            yield from api_a.send_all(cfd, data)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7900))
+        crossings = api_b.ctx.crossings
+        crossings.reset()
+        for _ in range(ROUNDS):
+            yield from api_b.send_all(fd, b"m" * 64)
+            yield from api_b.recv_exactly(fd, 64)
+        return crossings.snapshot()
+
+    _s, snap = net.run_all([server(), client()], until=240_000_000)
+    return {k: v / ROUNDS for k, v in snap.items()}
+
+
+def test_figure1_crossing_counts(benchmark):
+    def run():
+        return {key: measure(key) for key in
+                ("mach25", "ux", "library-shm-ipf")}
+
+    results = once(benchmark, run)
+    rows = []
+    for key, label in (("mach25", "In-kernel"), ("ux", "UX server"),
+                       ("library-shm-ipf", "Library (this paper)")):
+        snap = results[key]
+        rows.append([
+            label,
+            "%.1f" % snap["user_kernel_crossings"],
+            "%.1f" % snap["server_rpcs"],
+            "%.1f" % snap["data_copies"],
+        ])
+    show(
+        "Figure 1 — critical-path structure per send+recv round trip\n"
+        "(user/kernel crossings, OS-server RPCs, data copies; client side)",
+        format_table(["System", "u/k crossings", "server RPCs", "copies"],
+                     rows),
+    )
+    # The architectural claims:
+    assert results["library-shm-ipf"]["server_rpcs"] == 0
+    assert results["mach25"]["server_rpcs"] == 0
+    assert results["ux"]["server_rpcs"] >= 2  # one per send, one per recv
+    # The library's boundary crossings match the in-kernel count (±1 for
+    # the IPC-free SHM receive path).
+    lib = results["library-shm-ipf"]["user_kernel_crossings"]
+    kern = results["mach25"]["user_kernel_crossings"]
+    assert lib <= kern + 1
+    # The server path needs the kernel's crossings *plus* an RPC round
+    # trip per operation, and copies data several extra times.
+    assert results["ux"]["user_kernel_crossings"] >= 1.5 * kern
+    assert results["ux"]["data_copies"] >= 2 * results["mach25"]["data_copies"]

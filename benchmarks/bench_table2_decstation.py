@@ -1,0 +1,73 @@
+"""Table 2 (DECstation 5000/200 rows): TCP throughput and TCP/UDP
+round-trip latency for every protocol configuration.
+
+Workloads are the paper's: ttcp (memory-to-memory transfer at the best
+receive-buffer size) and protolat over message sizes 1..1460/1472 bytes.
+The transfer is scaled to 2 MB and the latency average to 50 rounds; both
+measure the same steady state as 16 MB / 50000 rounds.
+"""
+
+from conftest import once, show
+
+from repro.analysis.experiments import (
+    LATENCY_SIZES_TCP,
+    LATENCY_SIZES_UDP,
+    run_table2,
+)
+from repro.analysis.tables import format_table
+from repro.world.configs import CONFIGS, DECSTATION_ROWS
+
+ROWS = DECSTATION_ROWS
+
+
+def test_table2_decstation(benchmark):
+    rows = once(benchmark, lambda: run_table2(ROWS, platform="decstation"))
+    by_key = {row.key: row for row in rows}
+
+    tput_rows = []
+    for row in rows:
+        tput_rows.append([
+            row.label,
+            "%.0f" % row.throughput_kbs,
+            "%d" % row.paper.get("tput", 0),
+            "%d" % row.rcvbuf_kb,
+        ])
+    show(
+        "Table 2 (DECstation) — TCP throughput (ttcp)",
+        format_table(
+            ["System", "measured KB/s", "paper KB/s", "rcvbuf KB"], tput_rows
+        ),
+    )
+
+    for proto, sizes, attr in (
+        ("TCP", LATENCY_SIZES_TCP, "tcp_latency_ms"),
+        ("UDP", LATENCY_SIZES_UDP, "udp_latency_ms"),
+    ):
+        lat_rows = []
+        for row in rows:
+            lat = getattr(row, attr)
+            lat_rows.append([row.label] + ["%.2f" % lat[s] for s in sizes])
+        show(
+            "Table 2 (DECstation) — %s round-trip latency (ms)" % proto,
+            format_table(["System"] + ["%dB" % s for s in sizes], lat_rows),
+        )
+
+    # Shape assertions (the paper's qualitative results).
+    tput = {k: by_key[k].throughput_kbs for k in ROWS}
+    assert tput["library-shm-ipf"] >= 0.95 * tput["mach25"]
+    assert tput["library-shm-ipf"] > 1.3 * tput["ux"]
+    assert tput["library-shm"] > tput["library-ipc"]
+    assert tput["ux"] < tput["library-ipc"]
+
+    udp = {k: by_key[k].udp_latency_ms for k in ROWS}
+    assert udp["ux"][1] > 2.0 * udp["library-shm-ipf"][1]
+    assert udp["library-shm-ipf"][1] <= 1.1 * udp["mach25"][1]
+    # Latency ordering holds across the whole size range for the server.
+    for size in LATENCY_SIZES_UDP:
+        assert udp["ux"][size] > udp["mach25"][size]
+
+    # Paper-vs-measured ratio stays within a factor band for every row
+    # (shape, not absolute fidelity).
+    for key in ROWS:
+        paper = CONFIGS[key].paper["tput"]
+        assert 0.6 <= tput[key] / paper <= 1.4, (key, tput[key], paper)

@@ -1,0 +1,72 @@
+"""Table 2 (Gateway 486 rows): the same workloads on the i486 platform
+with its 8-bit programmed-I/O 3C503 Ethernet interface.
+
+The paper's point for this platform: the NIC, not the protocol placement,
+limits throughput ("transfers are done 8 bits at a time"), while the
+latency ordering (kernel < library < servers; 386BSD worst-in-class
+in-kernel) still holds.
+"""
+
+from conftest import once, show
+
+from repro.analysis.experiments import run_table2
+from repro.analysis.tables import format_table
+from repro.world.configs import GATEWAY_ROWS
+
+#: Published Gateway numbers (throughput KB/s, UDP 1-byte RTT ms).
+PAPER_GATEWAY = {
+    "mach25": (457, 1.83),
+    "386bsd": (320, 2.63),
+    "ux": (415, 3.96),
+    "bnr2ss": (382, 4.61),
+    "library-ipc": (469, 2.42),
+    "library-shm": (503, 2.02),
+}
+
+
+def test_table2_gateway(benchmark):
+    rows = once(
+        benchmark,
+        lambda: run_table2(
+            GATEWAY_ROWS,
+            platform="gateway",
+            total_bytes=1024 * 1024,
+            rounds=30,
+            tcp_sizes=(1, 512, 1460),
+            udp_sizes=(1, 512, 1472),
+        ),
+    )
+    by_key = {row.key: row for row in rows}
+
+    table = []
+    for row in rows:
+        paper_tput, paper_udp1 = PAPER_GATEWAY[row.key]
+        table.append([
+            row.label,
+            "%.0f" % row.throughput_kbs,
+            "%d" % paper_tput,
+            "%.2f" % row.udp_latency_ms[1],
+            "%.2f" % paper_udp1,
+        ])
+    show(
+        "Table 2 (Gateway 486) — throughput and 1-byte UDP RTT",
+        format_table(
+            ["System", "KB/s", "paper KB/s", "udp1 ms", "paper ms"], table
+        ),
+    )
+
+    tput = {k: by_key[k].throughput_kbs for k in GATEWAY_ROWS}
+    udp1 = {k: by_key[k].udp_latency_ms[1] for k in GATEWAY_ROWS}
+
+    # Every placement is capped by the PIO NIC: nothing beats ~520 KB/s.
+    assert all(v < 520 for v in tput.values())
+    # The library remains competitive with the kernel even here.
+    assert tput["library-shm"] >= 0.9 * tput["mach25"]
+    # Server placements are the slowest.
+    assert tput["ux"] < tput["library-ipc"]
+    assert tput["bnr2ss"] < tput["library-shm"]
+    # Latency ordering: kernel fastest, 386BSD notably worse (the paper
+    # blames its interrupt handling), servers worst.
+    assert udp1["386bsd"] > 1.2 * udp1["mach25"]
+    assert udp1["ux"] > 1.5 * udp1["library-shm"]
+    assert udp1["bnr2ss"] > udp1["library-ipc"]

@@ -1,0 +1,78 @@
+"""Table 3: the modified socket interface (NEWAPI).
+
+Section 4.2: letting the protocol and the application share buffers
+removes the copy between them.  The effect is largest on large-message
+latency (the copy is on the critical path there) and small on throughput
+(the copy happens after TCP has processed and acked the segment).
+"""
+
+from conftest import once, show
+
+from repro.analysis.experiments import (
+    LATENCY_SIZES_TCP,
+    LATENCY_SIZES_UDP,
+    run_table2,
+)
+from repro.analysis.tables import format_table
+from repro.world.configs import CONFIGS
+
+PAIRS = (
+    ("library-ipc", "library-newapi-ipc"),
+    ("library-shm", "library-newapi-shm"),
+    ("library-shm-ipf", "library-newapi-shm-ipf"),
+)
+ALL_KEYS = tuple(k for pair in PAIRS for k in pair)
+
+
+def test_table3_newapi(benchmark):
+    rows = once(
+        benchmark,
+        lambda: run_table2(ALL_KEYS, platform="decstation",
+                           total_bytes=2 * 1024 * 1024),
+    )
+    by_key = {row.key: row for row in rows}
+
+    table = []
+    for row in rows:
+        table.append([
+            row.label,
+            "%.0f" % row.throughput_kbs,
+            "%d" % row.paper["tput"],
+            "%.2f" % row.tcp_latency_ms[1460],
+            "%.2f" % row.paper["tcp_lat"][1],
+            "%.2f" % row.udp_latency_ms[1472],
+            "%.2f" % row.paper["udp_lat"][1],
+        ])
+    show(
+        "Table 3 — the NEWAPI shared-buffer socket interface",
+        format_table(
+            ["System", "KB/s", "paper", "tcp1460 ms", "paper",
+             "udp1472 ms", "paper"],
+            table,
+        ),
+    )
+
+    for plain_key, newapi_key in PAIRS:
+        plain = by_key[plain_key]
+        newapi = by_key[newapi_key]
+        # Large-message latency improves (the eliminated copy is on the
+        # critical path at 1460/1472 bytes)...
+        assert newapi.udp_latency_ms[1472] < plain.udp_latency_ms[1472]
+        assert newapi.tcp_latency_ms[1460] < plain.tcp_latency_ms[1460]
+        # ...throughput changes only modestly.
+        ratio = newapi.throughput_kbs / plain.throughput_kbs
+        assert 0.97 <= ratio <= 1.12, (plain_key, ratio)
+
+    # Full size sweep printed for the record.
+    for proto, sizes, attr in (
+        ("TCP", LATENCY_SIZES_TCP, "tcp_latency_ms"),
+        ("UDP", LATENCY_SIZES_UDP, "udp_latency_ms"),
+    ):
+        lat_rows = [
+            [row.label] + ["%.2f" % getattr(row, attr)[s] for s in sizes]
+            for row in rows
+        ]
+        show(
+            "Table 3 — %s latency sweep (ms)" % proto,
+            format_table(["System"] + ["%dB" % s for s in sizes], lat_rows),
+        )

@@ -1,0 +1,159 @@
+"""Table 4: per-layer latency breakdown for library, kernel, and server.
+
+The paper instrumented each protocol layer with a high-resolution timer;
+we accumulate the simulated CPU charges per layer during protolat runs
+(steady state: ledgers reset after warmup) and print the same rows.
+Entries the paper marks with asterisks are protection-boundary crossings;
+we mark the same ones.
+"""
+
+from conftest import once, show
+
+from repro.analysis.experiments import run_breakdown
+from repro.analysis.tables import format_table
+from repro.stack.instrument import Layer
+
+SYSTEMS = (
+    ("library-shm-ipf", "Library"),
+    ("mach25", "Kernel"),
+    ("ux", "Server"),
+)
+
+#: The paper's DECstation values for UDP at 1 and 1472 bytes, per system,
+#: for side-by-side comparison: {layer: {(system, size): us}}.
+PAPER_UDP = {
+    Layer.ENTRY_COPYIN: {("Library", 1): 6, ("Library", 1472): 7,
+                         ("Kernel", 1): 65, ("Kernel", 1472): 104,
+                         ("Server", 1): 293, ("Server", 1472): 628},
+    Layer.TCP_UDP_OUTPUT: {("Library", 1): 18, ("Library", 1472): 239,
+                           ("Kernel", 1): 70, ("Kernel", 1472): 273,
+                           ("Server", 1): 229, ("Server", 1472): 398},
+    Layer.IP_OUTPUT: {("Library", 1): 17, ("Library", 1472): 18,
+                      ("Kernel", 1): 22, ("Kernel", 1472): 25,
+                      ("Server", 1): 24, ("Server", 1472): 27},
+    Layer.ETHER_OUTPUT: {("Library", 1): 105, ("Library", 1472): 280,
+                         ("Kernel", 1): 74, ("Kernel", 1472): 163,
+                         ("Server", 1): 188, ("Server", 1472): 367},
+    Layer.DEVICE_READ: {("Library", 1): 39, ("Library", 1472): 40,
+                        ("Kernel", 1): 74, ("Kernel", 1472): 481,
+                        ("Server", 1): 99, ("Server", 1472): 497},
+    Layer.NETISR_FILTER: {("Library", 1): 58, ("Library", 1472): 70,
+                          ("Kernel", 1): 83, ("Kernel", 1472): 84,
+                          ("Server", 1): 76, ("Server", 1472): 61},
+    Layer.KERNEL_COPYOUT: {("Library", 1): 107, ("Library", 1472): 517,
+                           ("Kernel", 1): 0, ("Kernel", 1472): 0,
+                           ("Server", 1): 124, ("Server", 1472): 207},
+    Layer.MBUF_QUEUE: {("Library", 1): 20, ("Library", 1472): 20,
+                       ("Kernel", 1): 0, ("Kernel", 1472): 0,
+                       ("Server", 1): 68, ("Server", 1472): 64},
+    Layer.IPINTR: {("Library", 1): 35, ("Library", 1472): 33,
+                   ("Kernel", 1): 30, ("Kernel", 1472): 54,
+                   ("Server", 1): 121, ("Server", 1472): 91},
+    Layer.TCP_UDP_INPUT: {("Library", 1): 103, ("Library", 1472): 318,
+                          ("Kernel", 1): 67, ("Kernel", 1472): 279,
+                          ("Server", 1): 61, ("Server", 1472): 273},
+    Layer.WAKEUP_USER: {("Library", 1): 73, ("Library", 1472): 80,
+                        ("Kernel", 1): 70, ("Kernel", 1472): 69,
+                        ("Server", 1): 262, ("Server", 1472): 274},
+    Layer.COPYOUT_EXIT: {("Library", 1): 21, ("Library", 1472): 63,
+                         ("Kernel", 1): 27, ("Kernel", 1472): 75,
+                         ("Server", 1): 208, ("Server", 1472): 619},
+}
+
+#: Rows marked as protection-boundary crossings per system in the paper.
+STARRED = {
+    "Library": {Layer.ENTRY_COPYIN: False, Layer.ETHER_OUTPUT: True,
+                Layer.KERNEL_COPYOUT: True, Layer.COPYOUT_EXIT: False},
+    "Kernel": {Layer.ENTRY_COPYIN: True, Layer.ETHER_OUTPUT: False,
+               Layer.KERNEL_COPYOUT: False, Layer.COPYOUT_EXIT: True},
+    "Server": {Layer.ENTRY_COPYIN: True, Layer.ETHER_OUTPUT: True,
+               Layer.KERNEL_COPYOUT: True, Layer.COPYOUT_EXIT: True},
+}
+
+
+def collect(proto, sizes):
+    results = {}
+    for key, label in SYSTEMS:
+        for size in sizes:
+            results[(label, size)] = run_breakdown(key, proto, size,
+                                                   rounds=150)
+    return results
+
+
+def test_table4_breakdown_udp(benchmark):
+    sizes = (1, 1472)
+    results = once(benchmark, lambda: collect("udp", sizes))
+
+    headers = ["Layer"]
+    for _key, label in SYSTEMS:
+        for size in sizes:
+            headers.append("%s %dB" % (label, size))
+            headers.append("(paper)")
+    rows = []
+    for layer in Layer.SEND_PATH + Layer.RECEIVE_PATH:
+        row = [layer]
+        for _key, label in SYSTEMS:
+            for size in sizes:
+                star = "*" if STARRED[label].get(layer) else ""
+                row.append("%s%.0f" % (star, results[(label, size)][layer]))
+                row.append("%d" % PAPER_UDP[layer].get((label, size), 0))
+        rows.append(row)
+    totals = ["send+recv total"]
+    for _key, label in SYSTEMS:
+        for size in sizes:
+            r = results[(label, size)]
+            totals.append(
+                "%.0f" % (r["send path total"] + r["receive path total"])
+            )
+            totals.append("")
+    rows.append(totals)
+    show("Table 4 — UDP per-layer latency breakdown (us, one way)",
+         format_table(headers, rows))
+
+    lib = results[("Library", 1)]
+    kern = results[("Kernel", 1)]
+    srv = results[("Server", 1)]
+
+    # The kernel placement has no kernel->user packet copy before the
+    # protocol (Table 4 shows zero).
+    assert kern[Layer.KERNEL_COPYOUT] == 0
+    # The server pays RPC machinery at entry and exit - by far the
+    # largest entries in its column.
+    assert srv[Layer.ENTRY_COPYIN] > 3 * kern[Layer.ENTRY_COPYIN]
+    assert srv[Layer.COPYOUT_EXIT] > 4 * kern[Layer.COPYOUT_EXIT]
+    # The library's entry is a procedure call: far below the kernel trap.
+    assert lib[Layer.ENTRY_COPYIN] < 0.5 * kern[Layer.ENTRY_COPYIN]
+    # The server's wakeups go through the heavyweight sync machinery.
+    assert srv[Layer.WAKEUP_USER] > 2 * lib[Layer.WAKEUP_USER]
+    # Totals: library comparable to kernel; server far above both.
+    lib_total = lib["send path total"] + lib["receive path total"]
+    kern_total = kern["send path total"] + kern["receive path total"]
+    srv_total = srv["send path total"] + srv["receive path total"]
+    assert lib_total <= 1.25 * kern_total
+    assert srv_total >= 2.0 * kern_total
+
+
+def test_table4_breakdown_tcp(benchmark):
+    sizes = (1, 1460)
+    results = once(benchmark, lambda: collect("tcp", sizes))
+    headers = ["Layer"]
+    for _key, label in SYSTEMS:
+        for size in sizes:
+            headers.append("%s %dB" % (label, size))
+    rows = []
+    for layer in Layer.SEND_PATH + Layer.RECEIVE_PATH:
+        row = [layer]
+        for _key, label in SYSTEMS:
+            for size in sizes:
+                row.append("%.0f" % results[(label, size)][layer])
+        rows.append(row)
+    show("Table 4 — TCP per-layer latency breakdown (us, one way)",
+         format_table(headers, rows))
+
+    # TCP carries more protocol-input work than UDP at equal size, and
+    # the large-message columns are dominated by per-byte costs.
+    for _key, label in SYSTEMS:
+        small = results[(label, 1)]
+        large = results[(label, sizes[1])]
+        assert large["send path total"] > small["send path total"]
+        assert large["receive path total"] > small["receive path total"]

@@ -1,0 +1,38 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (alongside the published numbers) while pytest-benchmark times
+the run.  Simulated workloads are scaled down from the paper's 16 MB /
+50000-round originals; they measure the same steady state.
+
+Because pytest captures per-test output, every regenerated table is also
+appended to ``benchmarks/tables_output.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the tables on disk.
+"""
+
+import os
+import sys
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "tables_output.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write("Regenerated tables (one block per benchmark run)\n")
+    yield
+
+
+def show(title, body):
+    """Print a regenerated table and persist it to the results file."""
+    block = "\n".join(("=" * 72, title, "=" * 72, body, ""))
+    print("\n" + block, file=sys.stderr)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write("\n" + block)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

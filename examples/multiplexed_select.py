@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A select()-multiplexed server mixing app- and server-managed sockets.
+
+select is the paper's "cooperative interface" case: some descriptors are
+managed inside the application's protocol library, others by the OS
+server, and neither side alone can implement the call.  This example
+watches two UDP sockets (app-managed after bind) while also holding a
+post-fork, server-managed TCP stream, exercising the
+proxy_select/proxy_status protocol of Section 3.2.
+
+Run:  python examples/multiplexed_select.py
+"""
+
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.world.configs import build_network
+
+SERVER_IP = ip_aton("10.0.0.1")
+
+
+def main():
+    network, host_a, host_b = build_network("library-shm-ipf")
+    sim = network.sim
+    ready = sim.event()
+    events = []
+
+    def multiplexer():
+        api = host_a.new_app(name="muxd")
+        udp_a = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(udp_a, 8100)
+        udp_b = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(udp_b, 8101)
+        tcp = yield from api.socket(SOCK_STREAM)
+        yield from api.bind(tcp, 8102)
+        yield from api.listen(tcp)
+        ready.succeed()
+        conn_fd, _ = yield from api.accept(tcp)
+        # Fork: conn_fd becomes server-managed; the UDP sockets stay in
+        # the application.  select must now bridge both worlds.
+        yield from api.fork()
+        watched = [udp_a, udp_b, conn_fd]
+        names = {udp_a: "udp:8100", udp_b: "udp:8101", conn_fd: "tcp"}
+        for _ in range(3):
+            readable, _w = yield from api.select(watched, timeout=60_000_000)
+            for fd in readable:
+                if fd == conn_fd:
+                    data = yield from api.recv(fd, 256)
+                else:
+                    data, _src = yield from api.recvfrom(fd)
+                events.append((names[fd], bytes(data)))
+        return events
+
+    def traffic():
+        api = host_b.new_app(name="talker")
+        yield ready
+        tcp = yield from api.socket(SOCK_STREAM)
+        yield from api.connect(tcp, (SERVER_IP, 8102))
+        yield sim.timeout(3_000_000)
+        u = yield from api.socket(SOCK_DGRAM)
+        yield from api.sendto(u, b"first datagram", (SERVER_IP, 8101))
+        yield sim.timeout(3_000_000)
+        yield from api.send_all(tcp, b"stream bytes")
+        yield sim.timeout(3_000_000)
+        yield from api.sendto(u, b"second datagram", (SERVER_IP, 8100))
+
+    results = network.run_all([multiplexer(), traffic()], until=300_000_000)
+    print("select delivered, in arrival order:")
+    for name, data in results[0]:
+        print("  %-9s %r" % (name, data))
+    assert [n for n, _ in results[0]] == ["udp:8101", "tcp", "udp:8100"]
+    print()
+    print("(one select call watched app-managed UDP sockets and a "
+          "server-managed TCP stream at once)")
+
+
+if __name__ == "__main__":
+    main()

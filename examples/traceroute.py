@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""traceroute across a routed internetwork.
+
+Builds a three-segment topology — two workstations separated by two IP
+routers — and runs the classic TTL-walking path discovery: each probe's
+TTL dies one hop further out, and the router that kills it answers with
+ICMP time exceeded, revealing itself.
+
+    h1 (10.0.1.1) ── net1 ── r1 ── net2 ── r2 ── net3 ── h2 (10.0.3.1)
+
+The probing application runs on the paper's decomposed stack; ping and
+traceroute are OS-server services (applications get no raw IP access).
+
+Run:  python examples/traceroute.py
+"""
+
+from repro.hw.platforms import DECSTATION_5000_200
+from repro.hw.wire import EthernetWire
+from repro.net.addr import ip_aton, ip_ntoa
+from repro.sim.engine import Simulator
+from repro.world.configs import CONFIGS, Placement
+from repro.world.host import Host
+from repro.world.router import Router
+
+
+def build_internetwork():
+    sim = Simulator()
+    net1 = EthernetWire(sim, name="net1")
+    net2 = EthernetWire(sim, name="net2", propagation_us=2_000)  # a "long" middle link
+    net3 = EthernetWire(sim, name="net3")
+
+    h1 = Host(sim, net1, "10.0.1.1", DECSTATION_5000_200, name="h1",
+              integrated_filter=True)
+    h2 = Host(sim, net3, "10.0.3.1", DECSTATION_5000_200, name="h2",
+              integrated_filter=True)
+
+    r1 = Router(sim, DECSTATION_5000_200, name="r1")
+    r1.attach(net1, "10.0.1.254")
+    r1.attach(net2, "10.0.2.1")
+    r1.add_route("10.0.3.0", 24, gateway="10.0.2.2")
+
+    r2 = Router(sim, DECSTATION_5000_200, name="r2")
+    r2.attach(net2, "10.0.2.2")
+    r2.attach(net3, "10.0.3.254")
+    r2.add_route("10.0.1.0", 24, gateway="10.0.2.1")
+
+    h1.route_table.add("0.0.0.0", 0, iface="en0", gateway="10.0.1.254")
+    h2.route_table.add("0.0.0.0", 0, iface="en0", gateway="10.0.3.254")
+
+    spec = CONFIGS["library-shm-ipf"]
+    return sim, Placement(spec, h1), Placement(spec, h2)
+
+
+def main():
+    sim, p1, _p2 = build_internetwork()
+    api = p1.new_app(name="tracer")
+    target = ip_aton("10.0.3.1")
+
+    def prog():
+        rtt = yield from api.ping(target)
+        hops = yield from api.traceroute(target)
+        return rtt, hops
+
+    proc = sim.spawn(prog())
+    sim.run(until=120_000_000)
+    rtt, hops = proc.value
+
+    print("ping 10.0.3.1: %.2f ms over three segments and two routers"
+          % (rtt / 1000.0))
+    print()
+    print("traceroute to 10.0.3.1:")
+    for hop, reporter, hop_rtt in hops:
+        if reporter is None:
+            print("  %2d  *" % hop)
+        else:
+            print("  %2d  %-12s %7.2f ms" % (hop, ip_ntoa(reporter),
+                                             hop_rtt / 1000.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this project targets may lack the ``wheel`` package, which
+PEP 517/660 builds require.  Keeping a classic ``setup.py`` (and no
+``[build-system]`` table in ``pyproject.toml``) lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — Protocol Service Decomposition for High-Performance Networking.
+
+A reproduction of Maeda & Bershad (SOSP 1993): TCP/IP and UDP/IP
+decomposed into a user-level protocol library on the fast path plus an
+operating system server for session management, compared against
+in-kernel and single-server placements — all running on a simulated
+Mach 3.0 / DECstation / 10 Mb/s Ethernet substrate with a calibrated
+cost model.
+
+Typical use::
+
+    from repro import build_network, SOCK_STREAM
+
+    network, host_a, host_b = build_network("library-shm-ipf")
+    api = host_a.new_app()          # BSD sockets for one application
+
+    def app():
+        fd = yield from api.socket(SOCK_STREAM)
+        ...
+
+    network.run_all([app()])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from repro.world.configs import (
+    CONFIG_NAMES,
+    CONFIGS,
+    DECSTATION_ROWS,
+    GATEWAY_ROWS,
+    build_network,
+    make_placement,
+)
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM, SocketAPI, SocketError
+from repro.apps.protolat import protolat
+from repro.apps.ttcp import ttcp
+from repro.net.addr import ip_aton, ip_ntoa
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_network",
+    "make_placement",
+    "CONFIGS",
+    "CONFIG_NAMES",
+    "DECSTATION_ROWS",
+    "GATEWAY_ROWS",
+    "SocketAPI",
+    "SocketError",
+    "SOCK_STREAM",
+    "SOCK_DGRAM",
+    "ttcp",
+    "protolat",
+    "ip_aton",
+    "ip_ntoa",
+    "__version__",
+]

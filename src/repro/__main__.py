@@ -1,0 +1,71 @@
+"""``python -m repro`` — a one-minute demonstration.
+
+Runs a TCP exchange over the paper's decomposed architecture, prints a
+netstat-style view of both hosts mid-flight, and finishes with a
+miniature of Table 2 (one throughput number per placement).
+
+For the full evaluation, run ``pytest benchmarks/ --benchmark-only`` or
+``python -m repro.analysis.report``.
+"""
+
+from repro.analysis.netstat import format_report, host_report
+from repro.apps.ttcp import ttcp
+from repro.core.sockets import SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.world.configs import CONFIGS, build_network
+
+
+def demo_exchange():
+    print("=" * 64)
+    print("Protocol Service Decomposition (Maeda & Bershad, SOSP 1993)")
+    print("=" * 64)
+    network, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app(name="server-app")
+    api_b = pb.new_app(name="client-app")
+    ready = network.sim.event()
+    midpoint = network.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7000)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 4096)
+        midpoint.succeed()
+        yield from api_a.send_all(cfd, data)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (ip_aton("10.0.0.1"), 7000))
+        yield from api_b.send_all(fd, bytes(4096))
+        yield midpoint
+        yield from api_b.recv_exactly(fd, 4096)
+        return "echoed 4 KB"
+
+    _s, result = network.run_all([server(), client()], until=60_000_000)
+    print("\n%s in %.1f ms of simulated time\n" % (result,
+                                                   network.sim.now / 1000))
+    print(format_report(host_report(pa)))
+    print()
+
+
+def demo_throughput():
+    print("=" * 64)
+    print("Table 2 in miniature — ttcp, 1 MB, simulated 10 Mb/s Ethernet")
+    print("=" * 64)
+    for key in ("mach25", "ux", "library-shm-ipf"):
+        network, pa, pb = build_network(key)
+        result = ttcp(network, pb, pa, total_bytes=1024 * 1024,
+                      rcvbuf_kb=CONFIGS[key].best_rcvbuf_kb)
+        print("%-34s %5.0f KB/s   (paper: %d)"
+              % (CONFIGS[key].label, result.throughput_kbs,
+                 CONFIGS[key].paper["tput"]))
+    print()
+    print("Full evaluation: pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    demo_exchange()
+    demo_throughput()

@@ -1,0 +1,24 @@
+"""Experiment orchestration and paper-style table rendering."""
+
+from repro.analysis.tables import format_table, render_latency_table
+from repro.analysis.experiments import (
+    LATENCY_SIZES_TCP,
+    LATENCY_SIZES_UDP,
+    run_breakdown,
+    run_latency_row,
+    run_table2,
+    run_throughput,
+    search_best_rcvbuf,
+)
+
+__all__ = [
+    "format_table",
+    "render_latency_table",
+    "run_throughput",
+    "run_latency_row",
+    "run_table2",
+    "run_breakdown",
+    "search_best_rcvbuf",
+    "LATENCY_SIZES_TCP",
+    "LATENCY_SIZES_UDP",
+]

@@ -1,0 +1,111 @@
+"""netstat-style introspection of a simulated world.
+
+Summarizes, for any placement, what a 1993 ``netstat`` would have shown —
+active sessions with their states and counters — plus the things only
+this architecture has: where each session currently lives (application
+library vs OS server), the kernel's installed packet filters, and the
+migration counters.  Useful for debugging worlds and as a demo of the
+system's observability.
+"""
+
+from repro.net.addr import ip_ntoa
+
+
+def _addr(pair):
+    if pair is None or pair[0] in (None, 0):
+        return "*.*"
+    return "%s.%d" % (ip_ntoa(pair[0]), pair[1])
+
+
+def tcp_sessions(stack):
+    """Rows describing every TCP session in one stack."""
+    rows = []
+    for (lport, rip, rport), session in sorted(
+        stack._tcp.items(), key=lambda kv: (kv[0][0], kv[0][1] or 0)
+    ):
+        conn = session.conn
+        rows.append({
+            "proto": "tcp",
+            "local": _addr(conn.local),
+            "remote": _addr(conn.remote) if rip is not None else "*.*",
+            "state": conn.state.name,
+            "sndq": len(conn.snd_buffer),
+            "rcvq": conn.receivable(),
+            "retransmits": conn.stats.retransmits,
+        })
+    return rows
+
+
+def udp_sessions(stack):
+    rows = []
+    seen = set()
+    for session in stack._udp.values():
+        if id(session) in seen:
+            continue
+        seen.add(id(session))
+        rows.append({
+            "proto": "udp",
+            "local": _addr(session.local),
+            "remote": _addr(session.remote),
+            "state": "-",
+            "sndq": 0,
+            "rcvq": session.queued_bytes,
+            "retransmits": 0,
+        })
+    return rows
+
+
+def host_report(placement):
+    """A structured report for one placement (any style)."""
+    backend = placement._backend
+    stacks = []
+    if hasattr(backend, "stack"):
+        stacks.append(("os", backend.stack))
+    for library in getattr(backend, "_apps", {}).values():
+        stacks.append(("app:%s" % library.name, library.stack))
+    sessions = []
+    for where, stack in stacks:
+        for row in tcp_sessions(stack) + udp_sessions(stack):
+            row["where"] = where
+            sessions.append(row)
+    kernel = placement.host.kernel
+    report = {
+        "host": placement.host.name,
+        "sessions": sessions,
+        "filters": [
+            {"name": handle.name, "matched": handle.matched}
+            for handle in kernel._filters
+        ],
+        "frames_demuxed": kernel.frames_demuxed,
+        "frames_unmatched": kernel.frames_dropped_no_match,
+        "cpu_busy_us": placement.host.cpu.busy_time,
+    }
+    if hasattr(backend, "migrations_out"):
+        report["migrations_out"] = backend.migrations_out
+        report["migrations_in"] = backend.migrations_in
+    return report
+
+
+def format_report(report):
+    """Render a host report as netstat-ish text."""
+    lines = ["Active sessions on %s" % report["host"]]
+    lines.append("%-5s %-22s %-22s %-12s %6s %6s  %s"
+                 % ("Proto", "Local Address", "Foreign Address", "State",
+                    "SendQ", "RecvQ", "Where"))
+    for row in report["sessions"]:
+        lines.append("%-5s %-22s %-22s %-12s %6d %6d  %s"
+                     % (row["proto"], row["local"], row["remote"],
+                        row["state"], row["sndq"], row["rcvq"],
+                        row["where"]))
+    lines.append("")
+    lines.append("Packet filters (%d installed, %d frames demuxed, "
+                 "%d unmatched):"
+                 % (len(report["filters"]), report["frames_demuxed"],
+                    report["frames_unmatched"]))
+    for entry in report["filters"]:
+        lines.append("  %-44s matched %d" % (entry["name"], entry["matched"]))
+    if "migrations_out" in report:
+        lines.append("")
+        lines.append("Session migrations: %d out to applications, %d back"
+                     % (report["migrations_out"], report["migrations_in"]))
+    return "\n".join(lines)

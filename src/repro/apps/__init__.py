@@ -1,0 +1,6 @@
+"""Measurement applications: the paper's ttcp and protolat benchmarks."""
+
+from repro.apps.ttcp import TtcpResult, ttcp
+from repro.apps.protolat import LatencyResult, protolat
+
+__all__ = ["ttcp", "TtcpResult", "protolat", "LatencyResult"]

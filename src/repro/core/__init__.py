@@ -1,0 +1,25 @@
+"""The paper's contribution: the decomposed protocol service.
+
+* :mod:`repro.core.proxy` — the proxy socket layer in the application
+  (Table 1's call mapping),
+* :mod:`repro.core.library` — the user-level protocol library,
+* :mod:`repro.core.metastate` — cached routing/ARP metastate with
+  server-driven invalidation (Section 3.3),
+* :mod:`repro.core.sockets` — the BSD socket interface shared by every
+  placement.
+"""
+
+from repro.core.sockets import SocketAPI, SocketError, SOCK_STREAM, SOCK_DGRAM
+from repro.core.proxy import ProxySocketAPI
+from repro.core.library import ProtocolLibrary
+from repro.core.metastate import MetastateCache
+
+__all__ = [
+    "SocketAPI",
+    "SocketError",
+    "SOCK_STREAM",
+    "SOCK_DGRAM",
+    "ProxySocketAPI",
+    "ProtocolLibrary",
+    "MetastateCache",
+]

@@ -1,0 +1,458 @@
+"""The proxy socket layer (Table 1 of the paper).
+
+The proxy is "a small body of code that resides in the application's
+address space" exporting a procedure-call interface *identical* to the
+socket system-call interface.  Each call is handled locally, forwarded
+untouched to the operating system server, or translated into an alternate
+sequence of server calls:
+
+=============  ==================  =========================================
+Proxy export   Server export        Action
+=============  ==================  =========================================
+socket         proxy_socket        create a server-managed session
+bind           proxy_bind          set local address; UDP migrates to app
+connect        proxy_connect       set remote address; UDP+TCP migrate
+listen         proxy_listen        open passively; server awaits connections
+accept         proxy_accept        migrate an established session to the app
+send*/recv*    (none)              data transfer — the server is not involved
+fork           proxy_return        sessions return to the server before fork
+select         proxy_status        cooperative status exchange
+close          proxy_close         session returns; server runs the teardown
+=============  ==================  =========================================
+"""
+
+from repro.hw.cpu import Priority
+from repro.stack.context import ExecutionContext
+from repro.stack.instrument import Layer
+from repro.core.sockets import (
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    SocketAPI,
+    SocketError,
+)
+from repro.osserver.netserver import config_from_opts
+
+#: The Table 1 mapping, introspectable (bench_table1 regenerates the
+#: table from this and from live call traces).
+PROXY_CALL_MAP = {
+    "socket": "proxy_socket",
+    "bind": "proxy_bind",
+    "connect": "proxy_connect",
+    "listen": "proxy_listen",
+    "accept": "proxy_accept",
+    "send/recv (all variants)": None,
+    "fork": "proxy_return",
+    "select": "proxy_status",
+    "close": "proxy_close",
+}
+
+
+class ProxySocket:
+    """Per-descriptor proxy state."""
+
+    __slots__ = ("sid", "kind", "mode", "session", "server_handle",
+                 "lport", "remote", "opts", "input_key")
+
+    def __init__(self, sid, kind):
+        self.sid = sid
+        self.kind = kind
+        self.mode = "embryonic"  # embryonic -> app -> server -> closed
+        self.session = None  # engine session while app-managed
+        self.server_handle = None  # server fd while server-managed
+        self.lport = None
+        self.remote = None
+        self.opts = {}
+        self.input_key = None
+
+
+class ProxySocketAPI(SocketAPI):
+    """The BSD socket interface over the decomposed protocol service."""
+
+    def __init__(self, library, server, fork_factory=None):
+        super().__init__()
+        self.library = library
+        self.server = server
+        self.rpc = server.rpc
+        self.stack = library.stack
+        self.app_id = library.app_id
+        self._fork_factory = fork_factory
+        self._select_outstanding = False
+        self._status_watcher = None
+        host = library.host
+        self.ctx = ExecutionContext(
+            host.sim,
+            host.cpu,
+            priority=Priority.APPLICATION,
+            accounting=library.accounting,
+            crossings=library.ctx.crossings,
+            name="%s.proxy" % library.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _proxy_entry(self, layer=Layer.ENTRY_COPYIN):
+        """Entering the proxy is a procedure call, not a trap."""
+        yield from self.ctx.charge(layer, self.ctx.params.proc_call)
+
+    def _rpc(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
+        result = yield from self.rpc.call(
+            self.ctx, op, args=args, data=data, layer=layer
+        )
+        return result
+
+    def _adopt_tcp(self, psock, state, receiver):
+        yield from self._prime_metastate(psock.remote[0])
+        session = self.stack.adopt_tcp_state(
+            state, config=config_from_opts(self.stack, psock.opts)
+        )
+        psock.session = session
+        psock.mode = "app"
+        psock.input_key = ("tcp", psock.lport, psock.remote)
+        self.library.attach_input(receiver, key=psock.input_key)
+
+    def _prime_metastate(self, dst_ip):
+        """Warm the route and ARP caches when a session migrates in, so
+        the send fast path never talks to the server (Section 3.3)."""
+        meta = self.library.metastate
+        next_hop = yield from meta.prime_route(self.ctx, dst_ip)
+        yield from meta.resolve(self.ctx, next_hop)
+
+    def _adopt_udp(self, psock, receiver):
+        session = self.stack.adopt_udp_session(
+            (self.library.host.ip, psock.lport), remote=psock.remote
+        )
+        psock.session = session
+        psock.mode = "app"
+        psock.input_key = ("udp", psock.lport, psock.remote)
+        self.library.attach_input(receiver, key=psock.input_key)
+
+    # ------------------------------------------------------------------
+    # Creation and naming
+    # ------------------------------------------------------------------
+
+    def socket(self, kind):
+        yield from self._proxy_entry()
+        sid = yield from self._rpc("proxy_socket", self.app_id, kind)
+        desc = self.fds.alloc(kind, ProxySocket(sid, kind))
+        return desc.fd
+
+    def bind(self, fd, port):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        lport, receiver = yield from self._rpc("proxy_bind", psock.sid, port)
+        psock.lport = lport
+        if psock.kind == SOCK_DGRAM:
+            # A bound UDP session migrates to the application immediately.
+            self._adopt_udp(psock, receiver)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self, fd, addr):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        if psock.mode == "app" and psock.kind == SOCK_DGRAM:
+            # Re-connect of a bound UDP socket: the filter narrows, so the
+            # session bounces through the server.
+            self.library.detach_input(psock.input_key)
+            self.stack.udp_close(psock.session)
+        result = yield from self._rpc("proxy_connect", psock.sid, addr,
+                                      psock.opts)
+        if psock.kind == SOCK_DGRAM:
+            psock.lport, receiver = result
+            psock.remote = tuple(addr)
+            self._adopt_udp(psock, receiver)
+            yield from self._prime_metastate(psock.remote[0])
+        else:
+            psock.lport, state, receiver = result
+            psock.remote = tuple(addr)
+            yield from self._adopt_tcp(psock, state, receiver)
+
+    def listen(self, fd, backlog=5):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        psock.lport = yield from self._rpc(
+            "proxy_listen", psock.sid, backlog, psock.opts
+        )
+        psock.mode = "server"  # listeners stay with the OS server
+
+    def accept(self, fd):
+        listener = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        child_sid, remote, state, receiver = yield from self._rpc(
+            "proxy_accept", listener.sid, self.app_id
+        )
+        psock = ProxySocket(child_sid, SOCK_STREAM)
+        psock.lport = listener.lport
+        psock.remote = tuple(remote)
+        psock.opts = dict(listener.opts)
+        yield from self._adopt_tcp(psock, state, receiver)
+        desc = self.fds.alloc(SOCK_STREAM, psock)
+        return desc.fd, psock.remote
+
+    # ------------------------------------------------------------------
+    # Data transfer: entirely within the application for app-managed
+    # sessions; routed through the server otherwise (post-fork)
+    # ------------------------------------------------------------------
+
+    def send(self, fd, data):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        if psock.mode == "app":
+            if psock.kind == SOCK_DGRAM:
+                yield from self._udp_send_app(psock, data, psock.remote)
+                return len(data)
+            n = yield from self.stack.tcp_send(psock.session, data)
+            return n
+        if psock.mode == "server":
+            n = yield from self._rpc("send", psock.server_handle,
+                                     data=bytes(data))
+            return n
+        raise SocketError("send on unconnected socket")
+
+    def recv(self, fd, max_bytes):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry(Layer.COPYOUT_EXIT)
+        if psock.mode == "app":
+            if psock.kind == SOCK_DGRAM:
+                _src, data = yield from self.stack.udp_recv(
+                    psock.session, timeout_us=psock.session.recv_timeout_us
+                )
+                return data
+            data = yield from self.stack.tcp_recv(
+                psock.session, max_bytes,
+                timeout_us=psock.session.recv_timeout_us,
+            )
+            return data
+        if psock.mode == "server":
+            data = yield from self._rpc(
+                "recv", psock.server_handle, max_bytes, layer=Layer.COPYOUT_EXIT
+            )
+            return data
+        raise SocketError("recv on unconnected socket")
+
+    def _udp_send_app(self, psock, data, dst):
+        if dst is None:
+            raise SocketError("no destination for datagram")
+        if not self.library.metastate.has_route(dst[0]):
+            yield from self._prime_metastate(dst[0])
+        yield from self.stack.udp_send(psock.session, data, dst=dst)
+
+    def sendto(self, fd, data, addr):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        if psock.mode == "embryonic":
+            # BSD auto-binds: the session gets an ephemeral port and
+            # migrates into the application on first use.
+            lport, receiver = yield from self._rpc("proxy_bind", psock.sid, 0)
+            psock.lport = lport
+            self._adopt_udp(psock, receiver)
+        if psock.mode == "app":
+            yield from self._udp_send_app(psock, data, tuple(addr))
+            return len(data)
+        n = yield from self._rpc("sendto", psock.server_handle, tuple(addr),
+                                 data=bytes(data))
+        return n
+
+    def recvfrom(self, fd):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry(Layer.COPYOUT_EXIT)
+        if psock.mode == "app":
+            src, data = yield from self.stack.udp_recv(
+                psock.session, timeout_us=psock.session.recv_timeout_us
+            )
+            return data, src
+        if psock.mode == "server":
+            src, data = yield from self._rpc(
+                "recvfrom", psock.server_handle, layer=Layer.COPYOUT_EXIT
+            )
+            return data, src
+        raise SocketError("recvfrom on unbound socket")
+
+    # ------------------------------------------------------------------
+    # Teardown and fork: sessions migrate back to the server
+    # ------------------------------------------------------------------
+
+    def shutdown(self, fd):
+        """Half-close: the write side finishes, but unlike close the
+        session does NOT migrate — reads continue in the application."""
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        if psock.mode == "app" and psock.kind == SOCK_STREAM:
+            yield from self.stack.tcp_shutdown(psock.session)
+        elif psock.mode == "server":
+            yield from self._rpc("shutdown", psock.server_handle)
+        else:
+            raise SocketError("shutdown on a non-stream or unconnected fd")
+
+    def close(self, fd):
+        desc = self.fds.free(fd)
+        if desc is None:
+            return  # another process still holds the descriptor
+        psock = desc.payload
+        yield from self._proxy_entry()
+        if psock.mode == "app":
+            if psock.kind == SOCK_STREAM:
+                yield from self.stack._tcp_drain(psock.session)
+                state = self.stack.export_tcp_session(psock.session)
+                yield from self._rpc("proxy_close", psock.sid, state)
+            else:
+                self.stack.udp_close(psock.session)
+                yield from self._rpc("proxy_close", psock.sid, None)
+            self.library.detach_input(psock.input_key)
+        elif psock.mode in ("server", "embryonic"):
+            yield from self._rpc("proxy_close", psock.sid, None)
+        psock.mode = "closed"
+
+    def migrate_to_server(self, fd):
+        """Return one session to the server (the fork preparation step)."""
+        psock = self.fds.get(fd).payload
+        if psock.mode != "app":
+            return
+        if psock.kind == SOCK_STREAM:
+            yield from self.stack._tcp_drain(psock.session)
+            state = self.stack.export_tcp_session(psock.session)
+        else:
+            self.stack.udp_close(psock.session)
+            state = None
+        handle = yield from self._rpc("proxy_return", psock.sid, state)
+        self.library.detach_input(psock.input_key)
+        psock.session = None
+        psock.server_handle = handle
+        psock.mode = "server"
+
+    def fork(self):
+        """BSD fork: both processes' descriptors must name the same I/O
+        streams, so every app-managed session returns to the server first
+        (Table 1's fork row).  Returns a generator yielding the child API.
+        """
+        if self._fork_factory is None:
+            raise SocketError("this proxy was created without fork support")
+        for fd in list(self.fds.open_fds()):
+            yield from self.migrate_to_server(fd)
+        child = self._fork_factory()
+        for desc in self.fds.descriptors():
+            child.fds.adopt(desc)
+        return child
+
+    def ping(self, dst_ip, **_kwargs):
+        """Ping is an OS-server service (it needs raw IP access, which
+        applications do not get)."""
+        yield from self._proxy_entry()
+        rtt = yield from self._rpc("ping", dst_ip)
+        return rtt
+
+    def traceroute(self, dst_ip, max_hops=16):
+        yield from self._proxy_entry()
+        hops = yield from self._rpc("traceroute", dst_ip, max_hops)
+        return hops
+
+    # ------------------------------------------------------------------
+    # The cooperative select (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def setsockopt(self, fd, option, value):
+        psock = self.fds.get(fd).payload
+        yield from self._proxy_entry()
+        psock.opts[option] = value
+        if psock.mode == "app" and psock.session is not None:
+            from repro.osserver.inkernel import _apply_sockopt
+
+            class _D:  # adapt to _apply_sockopt's descriptor shape
+                kind = psock.kind
+                payload = psock.session
+
+            _apply_sockopt(_D, option, value)
+        elif psock.mode == "server":
+            yield from self._rpc("setsockopt", psock.server_handle, option, value)
+
+    def select(self, read_fds, write_fds=(), timeout=None):
+        yield from self._proxy_entry()
+        deadline = None if timeout is None else self.ctx.sim.now + timeout
+        self._ensure_status_watcher()
+        while True:
+            local_r, local_w, srv_r, srv_w = self._partition(read_fds, write_fds)
+            ready_r = [fd for fd, ready in local_r if ready]
+            ready_w = [fd for fd, ready in local_w if ready]
+            if ready_r or ready_w:
+                return ready_r, ready_w
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self.ctx.sim.now
+                if remaining <= 0:
+                    return [], []
+            for fd, _ready in local_r + local_w:
+                session = self.fds.get(fd).payload.session
+                if session is not None:
+                    session.selected = True
+            if srv_r or srv_w:
+                # Block in the server; our status watcher will poke it via
+                # proxy_status if a local session becomes ready meanwhile.
+                self._select_outstanding = True
+                try:
+                    res_r, res_w, _hint = yield from self._rpc(
+                        "proxy_select", self.app_id,
+                        [h for _fd, h in srv_r], [h for _fd, h in srv_w],
+                        remaining,
+                    )
+                finally:
+                    self._select_outstanding = False
+                handle_map = {h: fd for fd, h in srv_r + srv_w}
+                if res_r or res_w:
+                    return (
+                        [handle_map[h] for h in res_r],
+                        [handle_map[h] for h in res_w],
+                    )
+                # Either a local status change or a timeout: loop and
+                # re-check (the deadline check above ends the loop).
+            else:
+                from repro.sim.events import any_of
+
+                waits = [self.stack.select_notify.wait()]
+                if remaining is not None:
+                    waits.append(self.ctx.sim.timeout(remaining))
+                yield any_of(self.ctx.sim, waits)
+
+    def _partition(self, read_fds, write_fds):
+        local_r, local_w, srv_r, srv_w = [], [], [], []
+        for fd in read_fds:
+            psock = self.fds.get(fd).payload
+            if psock.mode == "server":
+                srv_r.append((fd, psock.server_handle))
+            else:
+                local_r.append((fd, self._local_ready(psock, "readable")))
+        for fd in write_fds:
+            psock = self.fds.get(fd).payload
+            if psock.mode == "server":
+                srv_w.append((fd, psock.server_handle))
+            else:
+                local_w.append((fd, self._local_ready(psock, "writable")))
+        return local_r, local_w, srv_r, srv_w
+
+    def _local_ready(self, psock, field):
+        if psock.session is None:
+            return field == "writable"
+        if psock.kind == SOCK_DGRAM:
+            state = self.stack.udp_poll(psock.session)
+        else:
+            state = self.stack.tcp_poll(psock.session)
+        return state[field] or state["error"]
+
+    def _ensure_status_watcher(self):
+        """The library-side half of the cooperative interface: when a
+        selected local session changes status while a server select is
+        outstanding, notify the server (proxy_status) to unblock it."""
+        if self._status_watcher is not None and self._status_watcher.alive:
+            return
+        self._status_watcher = self.ctx.sim.spawn(
+            self._watch_status(), name="%s.selwatch" % self.library.name
+        )
+
+    def _watch_status(self):
+        while True:
+            yield self.stack.select_notify.wait()
+            if self._select_outstanding:
+                yield from self._rpc("proxy_status", self.app_id)

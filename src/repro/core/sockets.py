@@ -1,0 +1,174 @@
+"""The BSD socket programming interface, as seen by applications.
+
+The paper's compatibility goal is *source-level*: applications written
+against BSD sockets recompile and relink unmodified.  Accordingly every
+placement — in-kernel, server-based, and library-based — implements this
+same :class:`SocketAPI`, and the applications and benchmarks in
+:mod:`repro.apps` are written once against it.
+
+All operations are generators (they run inside the simulation); aside
+from that the signatures mirror the classic calls, including the ten
+send/receive variants collapsing onto send/recv/sendto/recvfrom.
+"""
+
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+
+class SocketError(Exception):
+    """A socket-level error (the moral equivalent of an errno)."""
+
+
+class BadFileDescriptor(SocketError):
+    """Operation on a closed or never-opened descriptor."""
+
+
+class Descriptor:
+    """One open socket descriptor."""
+
+    __slots__ = ("fd", "kind", "payload", "refcount")
+
+    def __init__(self, fd, kind, payload):
+        self.fd = fd
+        self.kind = kind  # SOCK_STREAM or SOCK_DGRAM
+        self.payload = payload  # placement-specific session handle
+        self.refcount = 1  # >1 after fork shares the descriptor
+
+    def __repr__(self):
+        return "<Descriptor fd=%d kind=%d>" % (self.fd, self.kind)
+
+
+class FDTable:
+    """Per-process file-descriptor table."""
+
+    def __init__(self, first_fd=3):
+        self._first = first_fd
+        self._table = {}
+        self._next = first_fd
+
+    def alloc(self, kind, payload):
+        fd = self._next
+        self._next += 1
+        desc = Descriptor(fd, kind, payload)
+        self._table[fd] = desc
+        return desc
+
+    def adopt(self, descriptor):
+        """Install a shared descriptor (fork inheritance) under its fd."""
+        descriptor.refcount += 1
+        self._table[descriptor.fd] = descriptor
+
+    def get(self, fd):
+        try:
+            return self._table[fd]
+        except KeyError:
+            raise BadFileDescriptor("fd %d is not open" % fd) from None
+
+    def free(self, fd):
+        """Drop the fd; returns the descriptor if this was the last ref."""
+        desc = self.get(fd)
+        del self._table[fd]
+        desc.refcount -= 1
+        return desc if desc.refcount == 0 else None
+
+    def open_fds(self):
+        return sorted(self._table)
+
+    def descriptors(self):
+        return list(self._table.values())
+
+    def __len__(self):
+        return len(self._table)
+
+
+class SocketAPI:
+    """Abstract BSD socket interface.
+
+    Subclasses implement the verbs for one placement.  Every method other
+    than constructors is a generator to be driven in a simulation process.
+    """
+
+    def __init__(self):
+        self.fds = FDTable()
+
+    # -- creation and naming -------------------------------------------
+    def socket(self, kind):
+        raise NotImplementedError
+
+    def bind(self, fd, port):
+        raise NotImplementedError
+
+    # -- connection management -----------------------------------------
+    def listen(self, fd, backlog=5):
+        raise NotImplementedError
+
+    def accept(self, fd):
+        raise NotImplementedError
+
+    def connect(self, fd, addr):
+        raise NotImplementedError
+
+    # -- data transfer ---------------------------------------------------
+    def send(self, fd, data):
+        raise NotImplementedError
+
+    def recv(self, fd, max_bytes):
+        raise NotImplementedError
+
+    def sendto(self, fd, data, addr):
+        raise NotImplementedError
+
+    def recvfrom(self, fd):
+        raise NotImplementedError
+
+    # -- everything else -------------------------------------------------
+    def shutdown(self, fd):
+        """shutdown(fd, SHUT_WR): half-close the write side; the read
+        side keeps working until the peer closes."""
+        raise NotImplementedError
+
+    def close(self, fd):
+        raise NotImplementedError
+
+    def select(self, read_fds, write_fds=(), timeout=None):
+        raise NotImplementedError
+
+    def setsockopt(self, fd, option, value):
+        raise NotImplementedError
+
+    def fork(self):
+        """Duplicate this process's descriptor table (BSD fork semantics:
+        parent and child descriptors refer to the same sessions)."""
+        raise NotImplementedError
+
+    def ping(self, dst_ip, **kwargs):
+        """ICMP echo to ``dst_ip``; returns the RTT in microseconds or
+        None on timeout.  Not a socket call proper — ping needs raw IP,
+        which in every placement is an operating-system service."""
+        raise NotImplementedError
+
+    # -- convenience composites (shared by all placements) ---------------
+
+    def send_all(self, fd, data):
+        """Loop send until every byte is accepted."""
+        sent = 0
+        while sent < len(data):
+            n = yield from self.send(fd, data[sent:])
+            if n <= 0:
+                raise SocketError("send returned %d" % n)
+            sent += n
+        return sent
+
+    def recv_exactly(self, fd, nbytes):
+        """Loop recv until ``nbytes`` arrive (or EOF, raising)."""
+        chunks = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = yield from self.recv(fd, remaining)
+            if not chunk:
+                raise SocketError(
+                    "EOF with %d of %d bytes outstanding" % (remaining, nbytes)
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

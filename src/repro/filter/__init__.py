@@ -1,0 +1,33 @@
+"""The kernel packet filter.
+
+Packets are received through the packet filter "for security reasons"
+(Section 3.1): the kernel demultiplexes each arriving frame by running
+small verified filter programs, one installed per network session, so an
+application can only ever see packets destined for its own endpoints.
+
+The instruction set is a BPF-style accumulator machine (McCanne &
+Jacobson 1993), the successor to the CMU/Stanford packet filter the
+paper's Mach kernel used.  Programs are validated before installation
+(forward jumps only, in-range targets) and executed per packet by
+:class:`~repro.filter.vm.FilterMachine`, which also reports how many
+instructions ran so the kernel can charge CPU for them.
+"""
+
+from repro.filter.insn import Insn, Op
+from repro.filter.vm import FilterError, FilterMachine, validate
+from repro.filter.compile import (
+    compile_arp_filter,
+    compile_ip_protocol_filter,
+    compile_session_filter,
+)
+
+__all__ = [
+    "Insn",
+    "Op",
+    "FilterMachine",
+    "FilterError",
+    "validate",
+    "compile_session_filter",
+    "compile_arp_filter",
+    "compile_ip_protocol_filter",
+]

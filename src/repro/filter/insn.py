@@ -1,0 +1,80 @@
+"""Packet-filter instructions: a BPF-style accumulator machine."""
+
+from enum import Enum
+
+
+class Op(Enum):
+    # Loads into the accumulator (absolute offset k, or X-indexed).
+    LD_B = "ld_b"  # A = pkt[k]
+    LD_H = "ld_h"  # A = be16(pkt[k:k+2])
+    LD_W = "ld_w"  # A = be32(pkt[k:k+4])
+    LD_IND_B = "ld_ind_b"  # A = pkt[X + k]
+    LD_IND_H = "ld_ind_h"  # A = be16(pkt[X+k : X+k+2])
+    LD_LEN = "ld_len"  # A = len(pkt)
+    LD_IMM = "ld_imm"  # A = k
+
+    # Index register.
+    LDX_IMM = "ldx_imm"  # X = k
+    LDX_MSH = "ldx_msh"  # X = 4 * (pkt[k] & 0x0f)   (IP header length idiom)
+    TAX = "tax"  # X = A
+    TXA = "txa"  # A = X
+
+    # ALU on the accumulator.
+    AND = "and"  # A &= k
+    OR = "or"  # A |= k
+    RSH = "rsh"  # A >>= k
+    LSH = "lsh"  # A <<= k
+    ADD = "add"  # A += k
+    SUB = "sub"  # A -= k
+
+    # Conditional jumps (relative, forward-only): taken -> +jt, else -> +jf.
+    JEQ = "jeq"
+    JGT = "jgt"
+    JGE = "jge"
+    JSET = "jset"  # (A & k) != 0
+
+    # Return: accept k bytes of the packet (0 rejects).
+    RET = "ret"
+    RET_A = "ret_a"  # accept A bytes
+
+
+#: Operations that read packet memory and may fault on short packets.
+MEMORY_OPS = frozenset(
+    {Op.LD_B, Op.LD_H, Op.LD_W, Op.LD_IND_B, Op.LD_IND_H, Op.LDX_MSH}
+)
+
+#: Conditional jump operations.
+JUMP_OPS = frozenset({Op.JEQ, Op.JGT, Op.JGE, Op.JSET})
+
+#: Terminal operations.
+RET_OPS = frozenset({Op.RET, Op.RET_A})
+
+
+class Insn:
+    """One filter instruction."""
+
+    __slots__ = ("op", "k", "jt", "jf")
+
+    def __init__(self, op, k=0, jt=0, jf=0):
+        if not isinstance(op, Op):
+            raise TypeError("op must be an Op, got %r" % (op,))
+        self.op = op
+        self.k = k
+        self.jt = jt
+        self.jf = jf
+
+    def __repr__(self):
+        if self.op in JUMP_OPS:
+            return "Insn(%s, k=%#x, jt=%d, jf=%d)" % (
+                self.op.value, self.k, self.jt, self.jf)
+        return "Insn(%s, k=%#x)" % (self.op.value, self.k)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Insn)
+            and (self.op, self.k, self.jt, self.jf)
+            == (other.op, other.k, other.jt, other.jf)
+        )
+
+    def __hash__(self):
+        return hash((self.op, self.k, self.jt, self.jf))

@@ -1,0 +1,132 @@
+"""The packet-filter interpreter and program validator."""
+
+from repro.filter.insn import JUMP_OPS, Insn, Op, RET_OPS
+
+
+class FilterError(Exception):
+    """Raised for invalid programs (validation) or runtime faults."""
+
+
+MAX_PROGRAM_LEN = 512
+
+
+def validate(program):
+    """Check a filter program before installation.
+
+    Enforces the classic BPF safety rules: non-empty, bounded length,
+    forward-only jumps with in-range targets, and a terminal RET on the
+    last instruction (so execution cannot run off the end).
+    """
+    if not program:
+        raise FilterError("empty filter program")
+    if len(program) > MAX_PROGRAM_LEN:
+        raise FilterError("program too long: %d" % len(program))
+    for i, insn in enumerate(program):
+        if not isinstance(insn, Insn):
+            raise FilterError("instruction %d is not an Insn: %r" % (i, insn))
+        if insn.op in JUMP_OPS:
+            for target in (insn.jt, insn.jf):
+                if target < 0:
+                    raise FilterError("instruction %d: backward jump" % i)
+                if i + 1 + target > len(program) - 1:
+                    raise FilterError(
+                        "instruction %d: jump target %d out of range"
+                        % (i, i + 1 + target)
+                    )
+    if program[-1].op not in RET_OPS:
+        raise FilterError("last instruction must be a RET")
+    return program
+
+
+class FilterMachine:
+    """Executes validated filter programs against packets."""
+
+    def __init__(self):
+        self.packets_examined = 0
+        self.insns_executed = 0
+
+    def run(self, program, packet):
+        """Run ``program`` on ``packet``.
+
+        Returns ``(accepted_bytes, insn_count)``; ``accepted_bytes`` of 0
+        means reject.  Loads beyond the packet reject the packet (the BPF
+        convention) rather than faulting the kernel.
+        """
+        self.packets_examined += 1
+        a = 0
+        x = 0
+        pc = 0
+        executed = 0
+        plen = len(packet)
+        while pc < len(program):
+            insn = program[pc]
+            executed += 1
+            op = insn.op
+            k = insn.k
+            try:
+                if op is Op.LD_B:
+                    a = packet[k]
+                elif op is Op.LD_H:
+                    a = (packet[k] << 8) | packet[k + 1]
+                elif op is Op.LD_W:
+                    a = (
+                        (packet[k] << 24)
+                        | (packet[k + 1] << 16)
+                        | (packet[k + 2] << 8)
+                        | packet[k + 3]
+                    )
+                elif op is Op.LD_IND_B:
+                    a = packet[x + k]
+                elif op is Op.LD_IND_H:
+                    a = (packet[x + k] << 8) | packet[x + k + 1]
+                elif op is Op.LDX_MSH:
+                    x = 4 * (packet[k] & 0x0F)
+                elif op is Op.LD_LEN:
+                    a = plen
+                elif op is Op.LD_IMM:
+                    a = k
+                elif op is Op.LDX_IMM:
+                    x = k
+                elif op is Op.TAX:
+                    x = a
+                elif op is Op.TXA:
+                    a = x
+                elif op is Op.AND:
+                    a &= k
+                elif op is Op.OR:
+                    a |= k
+                elif op is Op.RSH:
+                    a >>= k
+                elif op is Op.LSH:
+                    a = (a << k) & 0xFFFFFFFF
+                elif op is Op.ADD:
+                    a = (a + k) & 0xFFFFFFFF
+                elif op is Op.SUB:
+                    a = (a - k) & 0xFFFFFFFF
+                elif op is Op.JEQ:
+                    pc += insn.jt if a == k else insn.jf
+                elif op is Op.JGT:
+                    pc += insn.jt if a > k else insn.jf
+                elif op is Op.JGE:
+                    pc += insn.jt if a >= k else insn.jf
+                elif op is Op.JSET:
+                    pc += insn.jt if a & k else insn.jf
+                elif op is Op.RET:
+                    self.insns_executed += executed
+                    return k, executed
+                elif op is Op.RET_A:
+                    self.insns_executed += executed
+                    return a, executed
+                else:  # pragma: no cover - the Op enum is closed
+                    raise FilterError("unknown op %r" % op)
+            except IndexError:
+                # Load beyond packet end: reject, as real BPF does.
+                self.insns_executed += executed
+                return 0, executed
+            pc += 1
+        raise FilterError("program ran off the end (validator bug)")
+
+    def matches(self, program, packet):
+        """Convenience: True iff the program accepts the packet."""
+        accepted, _count = self.run(program, packet)
+        return accepted > 0

@@ -1,0 +1,17 @@
+"""Hardware models: platform cost parameters, CPUs, NICs, and the wire."""
+
+from repro.hw.platforms import DECSTATION_5000_200, GATEWAY_486, PlatformParams
+from repro.hw.cpu import CPU, Priority
+from repro.hw.wire import EthernetWire
+from repro.hw.nic import NIC, NICModel
+
+__all__ = [
+    "PlatformParams",
+    "DECSTATION_5000_200",
+    "GATEWAY_486",
+    "CPU",
+    "Priority",
+    "EthernetWire",
+    "NIC",
+    "NICModel",
+]

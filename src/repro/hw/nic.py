@@ -1,0 +1,106 @@
+"""Ethernet network interface cards.
+
+Two models matter to the paper:
+
+* the DECstation's **Lance**, whose device memory is reasonably fast to
+  write but slow to read (the paper notes kernel memory "has lower read
+  latency than network device memory"), and
+* the Gateway's **3Com 3C503**, which moves data 8 bits at a time and
+  "severely limits" throughput.
+
+The NIC itself is autonomous hardware: once the driver has placed a frame
+in device memory, transmission onto the wire consumes no host CPU.  The
+per-byte cost of moving data between host and device memory is charged by
+the *driver* (kernel code) using the platform's ``devmem_*`` parameters —
+that cost difference is the whole story of the Gateway's numbers."""
+
+from dataclasses import dataclass
+
+from repro.sim.sync import Channel
+
+
+@dataclass(frozen=True)
+class NICModel:
+    """Static properties of a NIC type."""
+
+    name: str
+    tx_ring_frames: int = 32
+    rx_ring_frames: int = 32
+
+
+LANCE = NICModel(name="Lance")
+ETHERLINK_3C503 = NICModel(name="3Com 3C503", tx_ring_frames=8, rx_ring_frames=16)
+
+
+class NIC:
+    """A NIC instance attached to a wire.
+
+    The driver enqueues raw frames (bytes) with :meth:`start_transmit`;
+    a device-internal process drains the transmit ring onto the wire.
+    Received frames land in the receive ring and wake the host's interrupt
+    handler, which drains :attr:`rx_ring`.  A full receive ring drops
+    frames, as real hardware does under overrun.
+    """
+
+    def __init__(self, sim, wire, mac, model=LANCE, name=""):
+        if len(mac) != 6:
+            raise ValueError("MAC address must be 6 bytes, got %r" % (mac,))
+        self._sim = sim
+        self._wire = wire
+        self.mac = bytes(mac)
+        self.model = model
+        self.name = name or model.name
+        self._tx_ring = Channel(sim, capacity=model.tx_ring_frames, name=name + ".tx")
+        self.rx_ring = Channel(sim, capacity=None, name=name + ".rx")
+        self._rx_buffered = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        wire.attach(self)
+        self._tx_proc = sim.spawn(self._transmitter(), name="%s.tx" % self.name)
+
+    # ------------------------------------------------------------------
+    # Transmit side (driver -> device -> wire)
+    # ------------------------------------------------------------------
+
+    def start_transmit(self, frame):
+        """Driver hands a frame (already in device memory) to the device.
+
+        Generator: blocks if the transmit ring is full, which back-pressures
+        the sending protocol under load.
+        """
+        yield from self._tx_ring.put(bytes(frame))
+
+    def _transmitter(self):
+        """Device process: drain the TX ring onto the wire, in order."""
+        while True:
+            frame = yield from self._tx_ring.get()
+            yield from self._wire.transmit(frame, self)
+            self.frames_sent += 1
+
+    # ------------------------------------------------------------------
+    # Receive side (wire -> device -> interrupt)
+    # ------------------------------------------------------------------
+
+    def frame_arrived(self, frame):
+        """Called by the wire when a frame finishes arriving.
+
+        Runs in zero host-CPU time (it is the device DMA engine); the
+        kernel's interrupt handler pays the CPU costs when it drains
+        :attr:`rx_ring`.
+        """
+        if self._rx_buffered >= self.model.rx_ring_frames:
+            self.frames_dropped += 1
+            return
+        self._rx_buffered += 1
+        self.rx_ring.try_put(frame)
+        self.frames_received += 1
+
+    def rx_release(self):
+        """The driver finished copying a frame out of device memory."""
+        if self._rx_buffered <= 0:
+            raise RuntimeError("rx_release() with empty ring on %r" % self)
+        self._rx_buffered -= 1
+
+    def __repr__(self):
+        return "<NIC %s mac=%s>" % (self.name, self.mac.hex(":"))

@@ -1,0 +1,120 @@
+"""Per-platform primitive cost models.
+
+Every cost is in microseconds of simulated CPU time.  The DECstation
+values are calibrated against Table 4 of the paper (the per-layer latency
+breakdown measured with a high-resolution timer on a DECstation 5000/200);
+the Gateway values model the same 33 MHz i486 + 3Com 3C503 combination the
+paper used — a CPU roughly comparable to the R3000 but an 8-bit
+programmed-I/O Ethernet card that dominates large transfers.
+
+The protocol code itself never hard-codes a latency: it charges these
+primitives as it executes, so aggregate numbers (the paper's Tables 2 and
+3) emerge from the composition.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PlatformParams:
+    """Primitive operation costs for one hardware platform (microseconds)."""
+
+    name: str
+
+    # --- control transfer ------------------------------------------------
+    proc_call: float  # user-level procedure call into the library
+    trap: float  # user->kernel boundary crossing
+    trap_return: float  # kernel->user return
+    mach_msg: float  # one-way Mach IPC message (header-sized)
+    rpc_stub: float  # marshalling overhead per RPC (each side)
+    interrupt_entry: float  # field a device interrupt
+    netisr_dispatch: float  # software-interrupt / demux dispatch
+    sched_dispatch: float  # dispatch a newly-runnable thread
+
+    # --- memory ----------------------------------------------------------
+    copy_fixed: float  # per-memcpy fixed cost
+    copy_per_byte: float  # main-memory copy
+    shm_ring_per_byte: float  # copy into a pre-mapped shared packet ring
+    devmem_read_per_byte: float  # copy from NIC device memory
+    devmem_write_per_byte: float  # copy to NIC device memory
+    mbuf_alloc: float
+    mbuf_free: float
+
+    # --- protocol work ---------------------------------------------------
+    header_build: float  # construct/parse one protocol header
+    checksum_fixed: float
+    checksum_per_byte: float
+    filter_insn: float  # one packet-filter VM instruction
+    ip_output_overhead: float  # IP header + route lookup on the send path
+    ipintr_overhead: float  # IP input processing, header checksum included
+    ether_overhead: float  # driver bookkeeping per transmitted frame
+
+    # --- synchronization -------------------------------------------------
+    lock_light: float  # lightweight mutex acquire+release pair
+    lock_spl: float  # simulated-spl priority manipulation (UX server)
+    wakeup_light: float  # wake a thread, lightweight package
+    wakeup_spl: float  # wake a thread through the spl machinery
+    condvar_signal: float  # kernel lightweight condition signal (SHM filter)
+
+    # --- misc ------------------------------------------------------------
+    select_overhead: float  # fixed cost of a select() sweep
+    socket_layer: float  # socket-layer bookkeeping per call
+
+    def scaled(self, factor, **overrides):
+        """A copy with every CPU cost multiplied by ``factor``.
+
+        Used to derive slower-CPU variants; explicit ``overrides`` win.
+        """
+        fields = {}
+        for field_name, value in self.__dict__.items():
+            if field_name == "name":
+                continue
+            fields[field_name] = value * factor
+        fields.update(overrides)
+        return replace(self, **fields)
+
+
+#: 25 MHz MIPS R3000 with a DMA-capable Lance Ethernet interface.
+DECSTATION_5000_200 = PlatformParams(
+    name="DECstation 5000/200",
+    proc_call=2.0,
+    trap=25.0,
+    trap_return=15.0,
+    mach_msg=55.0,
+    rpc_stub=30.0,
+    interrupt_entry=55.0,
+    netisr_dispatch=45.0,
+    sched_dispatch=18.0,
+    copy_fixed=12.0,
+    copy_per_byte=0.126,
+    shm_ring_per_byte=0.04,
+    devmem_read_per_byte=0.28,
+    devmem_write_per_byte=0.02,
+    mbuf_alloc=8.0,
+    mbuf_free=3.0,
+    header_build=35.0,
+    checksum_fixed=15.0,
+    checksum_per_byte=0.168,
+    filter_insn=0.5,
+    ip_output_overhead=22.0,
+    ipintr_overhead=28.0,
+    ether_overhead=65.0,
+    lock_light=4.0,
+    lock_spl=70.0,
+    wakeup_light=70.0,
+    wakeup_spl=230.0,
+    condvar_signal=30.0,
+    select_overhead=80.0,
+    socket_layer=20.0,
+)
+
+#: 33 MHz i486 with a 3Com 3C503: comparable CPU, but the NIC moves data
+#: 8 bits at a time, which the paper blames for the Gateway's throughput.
+GATEWAY_486 = replace(
+    DECSTATION_5000_200.scaled(
+        1.45,
+        devmem_read_per_byte=1.05,
+        devmem_write_per_byte=0.95,
+    ),
+    name="Gateway 486",
+)

@@ -1,0 +1,111 @@
+"""A shared 10 Mb/s Ethernet segment.
+
+The wire serializes transmissions (half-duplex shared medium) and delivers
+each frame to every attached NIC except the sender, after the frame's
+serialization delay.  Frame time matches the paper's measured network
+transit component: 0.8 microseconds per byte with a 64-byte minimum frame
+(51.2 us for a minimum frame, 1214 us for a full TCP segment)."""
+
+from repro.sim.sync import Lock
+from repro.sim.process import Timeout
+
+#: 10 Mb/s == 0.8 microseconds per byte.
+US_PER_BYTE_10MBIT = 0.8
+
+#: Ethernet minimum frame size (header + payload + CRC).
+MIN_FRAME = 64
+
+#: Ethernet framing overhead beyond the payload handed to the driver:
+#: the 4-byte CRC (the 14-byte header is already part of our frames).
+CRC_BYTES = 4
+
+
+def frame_wire_bytes(frame_len):
+    """Bytes actually serialized on the wire for a ``frame_len`` frame."""
+    return max(MIN_FRAME, frame_len + CRC_BYTES)
+
+
+def frame_time(frame_len, us_per_byte=US_PER_BYTE_10MBIT):
+    """Serialization delay in microseconds for a frame of ``frame_len``."""
+    return frame_wire_bytes(frame_len) * us_per_byte
+
+
+class EthernetWire:
+    """A broadcast Ethernet segment connecting NICs.
+
+    ``loss_rate`` with an ``rng`` (any object with ``random()``) drops
+    that fraction of frames after serialization — fault injection for
+    exercising retransmission machinery end to end.  ``corrupt_rate``
+    flips one byte instead, exercising the checksum paths.
+    """
+
+    def __init__(self, sim, us_per_byte=US_PER_BYTE_10MBIT, name="ether0",
+                 loss_rate=0.0, corrupt_rate=0.0, rng=None,
+                 propagation_us=0.0):
+        if (loss_rate or corrupt_rate) and rng is None:
+            raise ValueError("fault injection requires an rng")
+        self._sim = sim
+        self.us_per_byte = us_per_byte
+        #: One-way propagation delay added after serialization.  Zero for
+        #: a LAN segment; set it to model a long link (the
+        #: bandwidth-delay product that motivates RFC 1323).
+        self.propagation_us = propagation_us
+        self.name = name
+        self.loss_rate = loss_rate
+        self.corrupt_rate = corrupt_rate
+        self.rng = rng
+        self._nics = []
+        self._medium = Lock(sim, name=name)
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.frames_lost = 0
+        self.frames_corrupted = 0
+
+    def attach(self, nic):
+        if nic in self._nics:
+            raise ValueError("%r already attached to %r" % (nic, self))
+        self._nics.append(nic)
+
+    def detach(self, nic):
+        self._nics.remove(nic)
+
+    def transmit(self, frame, sender):
+        """Serialize ``frame`` onto the wire, then deliver it.
+
+        A generator driven by the sending NIC's transmit process.  The
+        medium lock models the shared half-duplex segment: concurrent
+        senders queue (a simplification of CSMA/CD that preserves the
+        aggregate 10 Mb/s ceiling).
+        """
+        yield from self._medium.acquire()
+        try:
+            yield Timeout(frame_time(len(frame), self.us_per_byte))
+        finally:
+            self._medium.release()
+        self.frames_carried += 1
+        self.bytes_carried += len(frame)
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.frames_lost += 1
+            return
+        if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
+            frame = self._flip_byte(frame)
+            self.frames_corrupted += 1
+        if self.propagation_us:
+            self._sim.call_later(self.propagation_us, self._deliver, frame,
+                                 sender)
+        else:
+            self._deliver(frame, sender)
+
+    def _deliver(self, frame, sender):
+        for nic in self._nics:
+            if nic is not sender:
+                nic.frame_arrived(frame)
+
+    def _flip_byte(self, frame):
+        mutated = bytearray(frame)
+        # Flip inside the payload region so the frame still demultiplexes
+        # (corrupting the Ethernet header would just look like a miss).
+        pos = 14 + int(self.rng.random() * max(1, len(mutated) - 14))
+        pos = min(pos, len(mutated) - 1)
+        mutated[pos] ^= 0xFF
+        return bytes(mutated)

@@ -1,0 +1,32 @@
+"""The simulated Mach 3.0 microkernel.
+
+Provides the three services the paper's architecture needs from the
+kernel: Mach-style IPC (:mod:`repro.kernel.ipc`), a low-latency packet
+send trap, and packet-filter-based receive demultiplexing with three
+delivery interfaces — per-packet IPC, shared-memory rings, and the
+integrated (deferred-copy) packet filter (:mod:`repro.kernel.kernel`).
+
+The heavyweight spl-style and lightweight synchronization packages the
+paper contrasts are modelled as
+:class:`~repro.stack.context.LockPackage` cost models.
+"""
+
+from repro.kernel.ipc import Message, RPCPort, MessagePort
+from repro.kernel.kernel import (
+    FilterHandle,
+    IPCDelivery,
+    Kernel,
+    QueueDelivery,
+    SHMDelivery,
+)
+
+__all__ = [
+    "Kernel",
+    "FilterHandle",
+    "QueueDelivery",
+    "IPCDelivery",
+    "SHMDelivery",
+    "RPCPort",
+    "MessagePort",
+    "Message",
+]

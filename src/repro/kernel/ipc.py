@@ -1,0 +1,122 @@
+"""Mach-style IPC: message ports and RPC.
+
+Costs follow the paper's analysis of the server-based placement: a data-
+carrying RPC copies its payload twice on each side of each crossing (four
+copies end-to-end: user buffer -> message -> kernel -> server message ->
+mbuf chain), plus fixed per-message and stub costs, plus the trap.  Those
+charges are what make the UX server's ``entry/copyin`` and
+``copyout/exit`` rows in Table 4 so expensive.
+"""
+
+from repro.sim.sync import Channel
+
+
+class Message:
+    """One IPC message (an RPC request when it carries a reply event)."""
+
+    __slots__ = ("op", "args", "data", "data_len", "reply_event")
+
+    def __init__(self, op, args=(), data=b"", data_len=None, reply_event=None):
+        self.op = op
+        self.args = args
+        self.data = data
+        self.data_len = data_len if data_len is not None else len(data)
+        self.reply_event = reply_event
+
+    def __repr__(self):
+        return "<Message %s len=%d>" % (self.op, self.data_len)
+
+
+class MessagePort:
+    """A one-way Mach port: senders enqueue, one receiver dequeues.
+
+    Used for packet delivery in the Library-IPC configuration ("the packet
+    filter uses Mach IPC to deliver each incoming packet to the protocol
+    in a separate message").
+    """
+
+    def __init__(self, sim, name="port"):
+        self._sim = sim
+        self._queue = Channel(sim, name=name)
+        self.name = name
+        self.messages = 0
+
+    def send(self, ctx, layer, message):
+        """Kernel/sender side: fixed message cost; payload copy is charged
+        separately by the caller (it depends on source memory type)."""
+        yield from ctx.charge(layer, ctx.params.mach_msg)
+        self._queue.try_put(message)
+        self.messages += 1
+
+    def receive(self, ctx, layer):
+        """Receiver side: one boundary crossing plus the message cost."""
+        message = yield from self._queue.get()
+        yield from ctx.charge(layer, ctx.params.mach_msg + ctx.params.trap_return)
+        return message
+
+    def pending(self):
+        return len(self._queue)
+
+
+class RPCPort:
+    """A request/reply Mach port pair, as used for every proxy/server call."""
+
+    def __init__(self, sim, name="rpc"):
+        self._sim = sim
+        self._requests = Channel(sim, name=name)
+        self.name = name
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def call(self, ctx, op, args=(), data=b"", layer="rpc"):
+        """Synchronous RPC: send a request, block for the reply.
+
+        Charges the client side's costs: trap in, stub, message, and two
+        copies of any payload; then symmetric costs for the reply.  If the
+        server replies with an exception instance, it is re-raised here —
+        errors cross the RPC boundary like any BSD errno would.
+        """
+        p = ctx.params
+        ctx.crossings.server_rpcs += 1
+        yield from ctx.charge_boundary_crossing(layer)
+        yield from ctx.charge(layer, p.rpc_stub + p.mach_msg)
+        if data:
+            yield from ctx.charge_copy(layer, len(data))
+        reply_event = self._sim.event("%s.reply" % self.name)
+        message = Message(op, args=args, data=bytes(data), reply_event=reply_event)
+        self._requests.try_put(message)
+        self.calls += 1
+        result, reply_len = yield reply_event
+        yield from ctx.charge(layer, p.mach_msg + p.trap_return)
+        if reply_len:
+            yield from ctx.charge_copy(layer, reply_len)
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+
+    def serve(self, ctx, layer="rpc"):
+        """Dequeue the next request, charging the server's receive costs."""
+        message = yield from self._requests.get()
+        p = ctx.params
+        yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
+        if message.data_len:
+            yield from ctx.charge_copy(layer, message.data_len)
+        return message
+
+    def reply(self, ctx, message, result=None, reply_len=0, layer="rpc"):
+        """Send the reply, charging the server's send costs."""
+        p = ctx.params
+        yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
+        if reply_len:
+            yield from ctx.charge_copy(layer, reply_len)
+        message.reply_event.succeed((result, reply_len))
+
+    def pending(self):
+        return len(self._requests)

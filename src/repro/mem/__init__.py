@@ -1,0 +1,6 @@
+"""Memory machinery: BSD mbuf chains and shared-memory packet rings."""
+
+from repro.mem.mbuf import MCLBYTES, MHLEN, MLEN, Mbuf, MbufStats
+from repro.mem.shm import SharedPacketRing
+
+__all__ = ["Mbuf", "MbufStats", "MLEN", "MHLEN", "MCLBYTES", "SharedPacketRing"]

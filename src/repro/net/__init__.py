@@ -1,0 +1,19 @@
+"""Byte-level protocol implementations: Ethernet, ARP, IPv4, UDP, TCP.
+
+Everything in this package operates on genuine packed bytes with real
+checksums — it is the functional half of the reproduction, shared by all
+three protocol placements (in-kernel, server, library) exactly as the
+paper reuses one BSD-derived protocol codebase everywhere.
+"""
+
+from repro.net.addr import ip_aton, ip_ntoa, mac_ntoa
+from repro.net.checksum import internet_checksum, ones_complement_add, verify_checksum
+
+__all__ = [
+    "ip_aton",
+    "ip_ntoa",
+    "mac_ntoa",
+    "internet_checksum",
+    "ones_complement_add",
+    "verify_checksum",
+]

@@ -1,0 +1,85 @@
+"""Address types and conversions.
+
+IPv4 addresses are 32-bit ints internally (cheap to compare and mask);
+MAC addresses are 6-byte ``bytes``.  Dotted-quad and colon-hex string
+forms are for configuration and display only.
+"""
+
+import struct
+
+BROADCAST_MAC = b"\xff\xff\xff\xff\xff\xff"
+
+
+def ip_aton(text):
+    """'10.0.0.1' -> 32-bit int.  Accepts ints unchanged."""
+    if isinstance(text, int):
+        if not 0 <= text <= 0xFFFFFFFF:
+            raise ValueError("IPv4 address out of range: %r" % text)
+        return text
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("malformed IPv4 address: %r" % text)
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("malformed IPv4 address: %r" % text)
+        value = (value << 8) | octet
+    return value
+
+
+def ip_ntoa(value):
+    """32-bit int -> '10.0.0.1'."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("IPv4 address out of range: %r" % value)
+    return "%d.%d.%d.%d" % (
+        (value >> 24) & 0xFF,
+        (value >> 16) & 0xFF,
+        (value >> 8) & 0xFF,
+        value & 0xFF,
+    )
+
+
+def ip_pack(value):
+    """32-bit int -> 4 network-order bytes."""
+    return struct.pack("!I", ip_aton(value) if isinstance(value, str) else value)
+
+
+def ip_unpack(data):
+    """4 network-order bytes -> 32-bit int."""
+    if len(data) != 4:
+        raise ValueError("need exactly 4 bytes, got %d" % len(data))
+    return struct.unpack("!I", data)[0]
+
+
+def mac_ntoa(mac):
+    """6 bytes -> 'aa:bb:cc:dd:ee:ff'."""
+    if len(mac) != 6:
+        raise ValueError("MAC address must be 6 bytes")
+    return ":".join("%02x" % b for b in mac)
+
+
+def mac_aton(text):
+    """'aa:bb:cc:dd:ee:ff' -> 6 bytes.  Accepts bytes unchanged."""
+    if isinstance(text, (bytes, bytearray)):
+        if len(text) != 6:
+            raise ValueError("MAC address must be 6 bytes")
+        return bytes(text)
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError("malformed MAC address: %r" % text)
+    return bytes(int(p, 16) for p in parts)
+
+
+def make_mac(host_id):
+    """Deterministic locally-administered MAC for simulated host ``host_id``."""
+    return struct.pack("!HI", 0x0200, host_id & 0xFFFFFFFF)
+
+
+def netmask_from_prefix(prefixlen):
+    """Prefix length -> 32-bit netmask int."""
+    if not 0 <= prefixlen <= 32:
+        raise ValueError("prefix length out of range: %r" % prefixlen)
+    if prefixlen == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefixlen)) & 0xFFFFFFFF

@@ -1,0 +1,57 @@
+"""Ethernet II framing."""
+
+import struct
+
+from repro.net.addr import mac_aton
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+HEADER_LEN = 14
+MTU = 1500  # maximum payload
+MIN_PAYLOAD = 46  # minimum payload (frames are padded up to this)
+
+
+class EthernetHeader:
+    """A parsed Ethernet II header."""
+
+    __slots__ = ("dst", "src", "ethertype")
+
+    def __init__(self, dst, src, ethertype):
+        self.dst = mac_aton(dst)
+        self.src = mac_aton(src)
+        self.ethertype = ethertype
+
+    def pack(self):
+        return self.dst + self.src + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def unpack(cls, frame):
+        if len(frame) < HEADER_LEN:
+            raise ValueError("frame too short for Ethernet header: %d" % len(frame))
+        (ethertype,) = struct.unpack_from("!H", frame, 12)
+        return cls(frame[0:6], frame[6:12], ethertype)
+
+    def __repr__(self):
+        from repro.net.addr import mac_ntoa
+
+        return "<Ether %s -> %s type=0x%04x>" % (
+            mac_ntoa(self.src),
+            mac_ntoa(self.dst),
+            self.ethertype,
+        )
+
+
+def encapsulate(dst_mac, src_mac, ethertype, payload):
+    """Build a full frame, padding the payload to the Ethernet minimum."""
+    if len(payload) > MTU:
+        raise ValueError("payload %d exceeds Ethernet MTU %d" % (len(payload), MTU))
+    if len(payload) < MIN_PAYLOAD:
+        payload = bytes(payload) + b"\x00" * (MIN_PAYLOAD - len(payload))
+    return EthernetHeader(dst_mac, src_mac, ethertype).pack() + bytes(payload)
+
+
+def decapsulate(frame):
+    """Split a frame into (header, payload)."""
+    header = EthernetHeader.unpack(frame)
+    return header, bytes(frame[HEADER_LEN:])

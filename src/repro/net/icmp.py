@@ -1,0 +1,101 @@
+"""ICMP (RFC 792): echo, destination unreachable, time exceeded.
+
+The subset a 1993 BSD-derived stack actually exercised: ping, the
+port-unreachable errors that give connected UDP sockets ECONNREFUSED
+semantics, and TTL expiry.  In the paper's architecture ICMP is one of
+the "exceptional network packets" the operating system server handles;
+errors relevant to an application-managed session are upcalled into it.
+"""
+
+import struct
+
+from repro.net.checksum import internet_checksum, verify_checksum
+
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+TYPE_TIME_EXCEEDED = 11
+
+CODE_NET_UNREACHABLE = 0
+CODE_HOST_UNREACHABLE = 1
+CODE_PROTOCOL_UNREACHABLE = 2
+CODE_PORT_UNREACHABLE = 3
+
+HEADER_LEN = 8
+
+
+class ICMPMessage:
+    """A parsed ICMP message.
+
+    For echo messages, ``ident``/``seq`` are the identifier pair and
+    ``payload`` the echoed data.  For error messages, ``payload`` carries
+    the offending IP header plus the first 8 bytes of its payload, per
+    RFC 792.
+    """
+
+    __slots__ = ("type", "code", "ident", "seq", "payload")
+
+    def __init__(self, type, code=0, ident=0, seq=0, payload=b""):  # noqa: A002
+        self.type = type
+        self.code = code
+        self.ident = ident
+        self.seq = seq
+        self.payload = bytes(payload)
+
+    @property
+    def is_echo(self):
+        return self.type in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY)
+
+    @property
+    def is_error(self):
+        return self.type in (TYPE_DEST_UNREACHABLE, TYPE_TIME_EXCEEDED)
+
+    def pack(self):
+        if self.is_echo:
+            rest = struct.pack("!HH", self.ident, self.seq)
+        else:
+            rest = struct.pack("!I", 0)  # unused field of error messages
+        body = struct.pack("!BBH", self.type, self.code, 0) + rest + self.payload
+        checksum = internet_checksum(body)
+        return body[:2] + struct.pack("!H", checksum) + body[4:]
+
+    @classmethod
+    def unpack(cls, data, verify=True):
+        if len(data) < HEADER_LEN:
+            raise ValueError("ICMP message too short: %d" % len(data))
+        if verify and not verify_checksum(data):
+            raise ValueError("bad ICMP checksum")
+        type_, code, _cksum = struct.unpack_from("!BBH", data, 0)
+        if type_ in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY):
+            ident, seq = struct.unpack_from("!HH", data, 4)
+            return cls(type_, code, ident=ident, seq=seq, payload=data[8:])
+        return cls(type_, code, payload=bytes(data[8:]))
+
+    @classmethod
+    def echo_request(cls, ident, seq, payload=b""):
+        return cls(TYPE_ECHO_REQUEST, ident=ident, seq=seq, payload=payload)
+
+    def echo_reply(self):
+        if self.type != TYPE_ECHO_REQUEST:
+            raise ValueError("echo_reply() of a non-request")
+        return ICMPMessage(TYPE_ECHO_REPLY, ident=self.ident, seq=self.seq,
+                           payload=self.payload)
+
+    @classmethod
+    def port_unreachable(cls, original_packet):
+        """The error a host sends when a UDP datagram hits no socket."""
+        return cls(
+            TYPE_DEST_UNREACHABLE,
+            code=CODE_PORT_UNREACHABLE,
+            payload=bytes(original_packet[: 20 + 8]),
+        )
+
+    def quoted_packet(self):
+        """The offending packet excerpt carried by an error message."""
+        if not self.is_error:
+            raise ValueError("no quoted packet in a non-error message")
+        return self.payload
+
+    def __repr__(self):
+        return "<ICMP type=%d code=%d len=%d>" % (
+            self.type, self.code, len(self.payload))

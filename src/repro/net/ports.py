@@ -1,0 +1,70 @@
+"""The TCP/UDP port namespace manager.
+
+The paper keeps port allocation in the operating system server: "it is
+necessary to interact with a local IP port manager to ensure that the
+endpoint is uniquely named; the operating system is a convenient place to
+implement this manager" (Section 3.2).  One :class:`PortManager` instance
+per protocol lives in the OS server; applications never allocate ports
+directly.
+"""
+
+
+class PortInUse(Exception):
+    """The requested (address, port) binding conflicts with a live one."""
+
+
+class PortManager:
+    """Tracks port bindings for one protocol on one host.
+
+    A binding is (local_ip, port) where local_ip may be 0 (INADDR_ANY).
+    Binding a specific address conflicts with an existing wildcard binding
+    of the same port and vice versa, matching BSD semantics without
+    SO_REUSEADDR.
+    """
+
+    #: BSD 4.3's ephemeral range.
+    EPHEMERAL_FIRST = 1024
+    EPHEMERAL_LAST = 5000
+
+    def __init__(self, name=""):
+        self.name = name
+        self._bound = {}  # port -> set of local_ips (0 == wildcard)
+        self._next_ephemeral = self.EPHEMERAL_FIRST
+
+    def bind(self, local_ip, port):
+        """Claim (local_ip, port); raises :class:`PortInUse` on conflict."""
+        if not 0 < port <= 65535:
+            raise ValueError("port out of range: %r" % port)
+        owners = self._bound.get(port, set())
+        if 0 in owners or (local_ip == 0 and owners) or local_ip in owners:
+            raise PortInUse("%s port %d already bound" % (self.name, port))
+        self._bound.setdefault(port, set()).add(local_ip)
+        return port
+
+    def bind_ephemeral(self, local_ip):
+        """Allocate and claim a fresh ephemeral port."""
+        for _ in range(self.EPHEMERAL_LAST - self.EPHEMERAL_FIRST + 1):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > self.EPHEMERAL_LAST:
+                self._next_ephemeral = self.EPHEMERAL_FIRST
+            owners = self._bound.get(port)
+            if not owners:
+                self._bound[port] = {local_ip}
+                return port
+        raise PortInUse("%s ephemeral port space exhausted" % self.name)
+
+    def release(self, local_ip, port):
+        """Release a binding made with :meth:`bind` or :meth:`bind_ephemeral`."""
+        owners = self._bound.get(port)
+        if not owners or local_ip not in owners:
+            raise KeyError("%s port %d not bound to %r" % (self.name, port, local_ip))
+        owners.discard(local_ip)
+        if not owners:
+            del self._bound[port]
+
+    def is_bound(self, port):
+        return bool(self._bound.get(port))
+
+    def bound_count(self):
+        return sum(len(owners) for owners in self._bound.values())

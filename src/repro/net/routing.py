@@ -1,0 +1,85 @@
+"""The IP routing table.
+
+Routing entries are long-lived shared metastate: in the paper's design the
+operating system server owns the authoritative table and applications
+cache entries from it (Section 3.3).  The table itself is a classic
+longest-prefix-match structure.
+"""
+
+from repro.net.addr import ip_aton, ip_ntoa, netmask_from_prefix
+
+
+class Route:
+    """One routing table entry."""
+
+    __slots__ = ("prefix", "prefixlen", "gateway", "iface", "generation")
+
+    def __init__(self, prefix, prefixlen, iface, gateway=None, generation=0):
+        self.prefix = ip_aton(prefix) & netmask_from_prefix(prefixlen)
+        self.prefixlen = prefixlen
+        self.gateway = ip_aton(gateway) if gateway is not None else None
+        self.iface = iface
+        self.generation = generation
+
+    @property
+    def is_direct(self):
+        """True for directly-attached networks (no gateway hop)."""
+        return self.gateway is None
+
+    def matches(self, dst):
+        return (dst & netmask_from_prefix(self.prefixlen)) == self.prefix
+
+    def __repr__(self):
+        via = "direct" if self.is_direct else "via %s" % ip_ntoa(self.gateway)
+        return "<Route %s/%d %s dev %s>" % (
+            ip_ntoa(self.prefix),
+            self.prefixlen,
+            via,
+            self.iface,
+        )
+
+
+class RouteTable:
+    """Longest-prefix-match routing with a generation counter.
+
+    The generation number increments on every mutation; application-side
+    caches compare generations to detect staleness (in addition to the
+    explicit invalidation callbacks the server issues).
+    """
+
+    def __init__(self):
+        self._routes = []
+        self.generation = 0
+
+    def add(self, prefix, prefixlen, iface, gateway=None):
+        self.generation += 1
+        route = Route(prefix, prefixlen, iface, gateway, generation=self.generation)
+        self._routes.append(route)
+        # Longest prefix first so lookup can take the first match.
+        self._routes.sort(key=lambda r: -r.prefixlen)
+        return route
+
+    def remove(self, prefix, prefixlen):
+        """Remove a route; returns True if one was removed."""
+        target = ip_aton(prefix) & netmask_from_prefix(prefixlen)
+        for i, route in enumerate(self._routes):
+            if route.prefix == target and route.prefixlen == prefixlen:
+                del self._routes[i]
+                self.generation += 1
+                return True
+        return False
+
+    def lookup(self, dst):
+        """The most specific route for ``dst``, or None."""
+        dst = ip_aton(dst)
+        for route in self._routes:
+            if route.matches(dst):
+                return route
+        return None
+
+    def routes(self):
+        """Snapshot of all routes, most specific first."""
+        return list(self._routes)
+
+    def __len__(self):
+        return len(self._routes)

@@ -1,0 +1,19 @@
+"""A complete TCP implementation (RFC 793 + Jacobson congestion control).
+
+The implementation is *sans-I/O*: :class:`~repro.net.tcp.conn.TCPConnection`
+is a pure protocol machine fed with arriving segments, timer ticks, and
+user calls; it emits outgoing segments into an outbox that the hosting
+environment (kernel stack, UX server, or the paper's user-level protocol
+library) drains.  This is what lets one TCP codebase run in all three
+placements, mirroring the paper's reuse of the BSD networking code.
+
+Connection state can be exported and imported wholesale — the mechanism
+behind the paper's session migration between the OS server and the
+application (Section 3.2).
+"""
+
+from repro.net.tcp.conn import TCPConnection, TCPConfig
+from repro.net.tcp.state import TCPState
+from repro.net.tcp.header import TCPSegment, MSS_ETHERNET
+
+__all__ = ["TCPConnection", "TCPConfig", "TCPState", "TCPSegment", "MSS_ETHERNET"]

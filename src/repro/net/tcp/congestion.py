@@ -1,0 +1,65 @@
+"""Jacobson congestion control (SIGCOMM '88), 4.3BSD-Tahoe style.
+
+Slow start, congestion avoidance, and fast retransmit on three duplicate
+ACKs.  Tahoe (not Reno) is what the BNR2/4.3BSD code the paper used
+shipped with, so a timeout and a fast retransmit both collapse cwnd back
+to one segment.
+"""
+
+#: Duplicate-ACK threshold for fast retransmit (BSD tcprexmtthresh).
+REXMT_THRESH = 3
+
+#: Maximum window (BSD TCP_MAXWIN).
+MAXWIN = 65535
+
+
+class CongestionControl:
+    """Per-connection congestion state."""
+
+    def __init__(self, mss, max_window=MAXWIN):
+        self.mss = mss
+        self.max_window = max_window  # raised when RFC 1323 scaling is on
+        self.cwnd = mss  # start with one segment
+        self.ssthresh = max_window
+        self.dupacks = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    def window(self, snd_wnd):
+        """The usable send window: min(peer window, cwnd)."""
+        return min(snd_wnd, self.cwnd)
+
+    def in_slow_start(self):
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_new_data):
+        """Open the window on an ACK that advances snd_una."""
+        self.dupacks = 0
+        if not acked_new_data:
+            return
+        if self.in_slow_start():
+            self.cwnd = min(self.cwnd + self.mss, self.max_window)
+        else:
+            # Congestion avoidance: roughly one MSS per RTT.
+            increment = max(1, (self.mss * self.mss) // self.cwnd)
+            self.cwnd = min(self.cwnd + increment, self.max_window)
+
+    def on_duplicate_ack(self, flight_size):
+        """Count a duplicate ACK; returns True when fast retransmit fires."""
+        self.dupacks += 1
+        if self.dupacks == REXMT_THRESH:
+            self._collapse(flight_size)
+            self.fast_retransmits += 1
+            return True
+        return False
+
+    def on_timeout(self, flight_size):
+        """A retransmission timeout: multiplicative decrease + slow start."""
+        self._collapse(flight_size)
+        self.timeouts += 1
+
+    def _collapse(self, flight_size):
+        half_flight = max(2 * self.mss, (flight_size // 2 // self.mss) * self.mss)
+        self.ssthresh = half_flight
+        self.cwnd = self.mss
+        self.dupacks = 0

@@ -1,0 +1,165 @@
+"""TCP segment encoding and decoding (RFC 793), with the MSS option."""
+
+import struct
+
+from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+from repro.net.ip import PROTO_TCP
+
+HEADER_LEN = 20
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3  # RFC 1323 window scaling (the 1992 "high-performance" ext.)
+
+#: MSS on Ethernet: 1500 - 20 (IP) - 20 (TCP).
+MSS_ETHERNET = 1460
+
+_FLAG_NAMES = [(FIN, "FIN"), (SYN, "SYN"), (RST, "RST"), (PSH, "PSH"),
+               (ACK, "ACK"), (URG, "URG")]
+
+
+def flags_str(flags):
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+class TCPSegment:
+    """A parsed (or to-be-packed) TCP segment."""
+
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "window",
+                 "urgent", "mss_option", "wscale_option", "payload")
+
+    def __init__(self, src_port, dst_port, seq=0, ack=0, flags=0, window=0,
+                 urgent=0, mss_option=None, wscale_option=None, payload=b""):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.urgent = urgent
+        self.mss_option = mss_option
+        self.wscale_option = wscale_option
+        self.payload = bytes(payload)
+
+    # ------------------------------------------------------------------
+
+    def _options(self):
+        options = b""
+        if self.mss_option is not None:
+            options += struct.pack("!BBH", OPT_MSS, 4, self.mss_option)
+        if self.wscale_option is not None:
+            options += struct.pack("!BBB", OPT_WSCALE, 3, self.wscale_option)
+        return options
+
+    def pack(self, src_ip, dst_ip):
+        """Serialize with a valid pseudo-header checksum."""
+        options = self._options()
+        if len(options) % 4:
+            options += bytes(4 - len(options) % 4)
+        data_off = (HEADER_LEN + len(options)) // 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_off << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        segment = header + options + self.payload
+        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len(segment))
+        checksum = internet_checksum(segment, initial=pseudo)
+        return (
+            header[:16]
+            + struct.pack("!H", checksum)
+            + header[18:]
+            + options
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(cls, src_ip, dst_ip, data, verify=True):
+        """Parse and (optionally) checksum-verify a segment."""
+        if len(data) < HEADER_LEN:
+            raise ValueError("TCP segment too short: %d" % len(data))
+        (src_port, dst_port, seq, ack, off_byte, flags, window, _cksum,
+         urgent) = struct.unpack_from("!HHIIBBHHH", data, 0)
+        header_len = (off_byte >> 4) * 4
+        if header_len < HEADER_LEN or header_len > len(data):
+            raise ValueError("bad TCP data offset: %d" % header_len)
+        if verify:
+            pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len(data))
+            if not verify_checksum(data, initial=pseudo):
+                raise ValueError("bad TCP checksum")
+        mss, wscale = cls._parse_options(data[HEADER_LEN:header_len])
+        return cls(
+            src_port,
+            dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            mss_option=mss,
+            wscale_option=wscale,
+            payload=bytes(data[header_len:]),
+        )
+
+    @staticmethod
+    def _parse_options(options):
+        mss = None
+        wscale = None
+        i = 0
+        while i < len(options):
+            kind = options[i]
+            if kind == OPT_END:
+                break
+            if kind == OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(options):
+                break  # truncated option
+            length = options[i + 1]
+            if length < 2 or i + length > len(options):
+                break  # malformed
+            if kind == OPT_MSS and length == 4:
+                mss = struct.unpack_from("!H", options, i + 2)[0]
+            elif kind == OPT_WSCALE and length == 3:
+                wscale = min(options[i + 2], 14)  # RFC 1323 cap
+            i += length
+        return mss, wscale
+
+    # ------------------------------------------------------------------
+
+    @property
+    def wire_len(self):
+        """Sequence space consumed: payload plus SYN/FIN."""
+        length = len(self.payload)
+        if self.flags & SYN:
+            length += 1
+        if self.flags & FIN:
+            length += 1
+        return length
+
+    def __repr__(self):
+        return "<TCP %d->%d %s seq=%d ack=%d win=%d len=%d>" % (
+            self.src_port,
+            self.dst_port,
+            flags_str(self.flags),
+            self.seq,
+            self.ack,
+            self.window,
+            len(self.payload),
+        )

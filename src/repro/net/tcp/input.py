@@ -1,0 +1,386 @@
+"""TCP receive-side processing (the BSD ``tcp_input``).
+
+Implements RFC 793 segment-arrival processing: acceptability checks,
+trimming to the window, RST/SYN/ACK/URG handling, in-order and
+out-of-order data delivery, FIN processing, and the associated state
+transitions.  Called via :meth:`TCPConnection.segment_arrives`.
+"""
+
+from repro.net.tcp import output as tcp_output
+from repro.net.tcp.header import ACK, FIN, RST, SYN, URG
+from repro.net.tcp.seq import (
+    seq_add,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+)
+from repro.net.tcp.state import RECEIVE_OK, TCPState
+from repro.net.tcp.tcb import ConnectionRefused, ConnectionReset
+from repro.net.tcp.timers import TCPT_2MSL, TCPT_REXMT
+
+
+def segment_arrives(conn, seg, src_ip=None):
+    if conn.state == TCPState.CLOSED:
+        rst = tcp_output.rst_for(seg)
+        if rst is not None:
+            conn.emit(rst)
+        return
+
+    if conn.state == TCPState.LISTEN:
+        _listen_input(conn, seg, src_ip)
+        return
+
+    if conn.state == TCPState.SYN_SENT:
+        _syn_sent_input(conn, seg)
+        return
+
+    _synchronized_input(conn, seg)
+
+
+# ----------------------------------------------------------------------
+# LISTEN
+# ----------------------------------------------------------------------
+
+def _listen_input(conn, seg, src_ip):
+    if seg.flags & RST:
+        return  # ignore
+    if seg.flags & ACK:
+        rst = tcp_output.rst_for(seg)
+        if rst is not None:
+            conn.emit(rst)
+        return
+    if not seg.flags & SYN:
+        return
+    # A connection request.  The socket layer is responsible for having
+    # cloned a fresh connection per pending SYN; here we become its server
+    # half.
+    from repro.net.tcp.conn import _next_iss
+
+    conn.remote = (src_ip, seg.src_port)
+    conn.irs = seg.seq
+    conn.rcv_nxt = seq_add(seg.seq, 1)
+    conn.rcv_adv = conn.rcv_nxt
+    if seg.mss_option:
+        conn.peer_mss = seg.mss_option
+    _negotiate_wscale(conn, seg)
+    conn.iss = _next_iss()
+    conn.snd_una = conn.iss
+    conn.snd_nxt = conn.iss
+    conn.snd_max = conn.iss
+    conn.snd_up = conn.iss
+    conn.snd_wnd = seg.window
+    conn.snd_wl1 = seg.seq
+    conn.snd_wl2 = seg.ack
+    conn.set_state(TCPState.SYN_RECEIVED)
+    tcp_output.tcp_output(conn)
+
+
+# ----------------------------------------------------------------------
+# SYN_SENT
+# ----------------------------------------------------------------------
+
+def _syn_sent_input(conn, seg):
+    ack_acceptable = False
+    if seg.flags & ACK:
+        if seq_le(seg.ack, conn.iss) or seq_gt(seg.ack, conn.snd_max):
+            if not seg.flags & RST:
+                rst = tcp_output.rst_for(seg)
+                if rst is not None:
+                    conn.emit(rst)
+            return
+        ack_acceptable = True
+
+    if seg.flags & RST:
+        if ack_acceptable:
+            conn._enter_closed(ConnectionRefused("connection refused"))
+        return
+
+    if not seg.flags & SYN:
+        return
+
+    conn.irs = seg.seq
+    conn.rcv_nxt = seq_add(seg.seq, 1)
+    conn.rcv_adv = conn.rcv_nxt
+    if seg.mss_option:
+        conn.peer_mss = seg.mss_option
+    _negotiate_wscale(conn, seg)
+    conn.snd_wnd = seg.window  # SYN windows are never scaled (RFC 1323)
+    conn.snd_wl1 = seg.seq
+    conn.snd_wl2 = seg.ack
+
+    if ack_acceptable:
+        conn.snd_una = seg.ack
+        if conn.t_rtt and seq_gt(seg.ack, conn.rtt_seq):
+            conn.rtt.update(conn.t_rtt)
+            conn.t_rtt = 0
+        conn.stop_timer(TCPT_REXMT)
+        conn.set_state(TCPState.ESTABLISHED)
+        conn.ack_now = True
+        tcp_output.tcp_output(conn)
+    else:
+        # Simultaneous open.
+        conn.set_state(TCPState.SYN_RECEIVED)
+        conn.snd_nxt = conn.iss  # re-send our SYN, now with an ACK
+        tcp_output.tcp_output(conn)
+
+
+# ----------------------------------------------------------------------
+# Synchronized states
+# ----------------------------------------------------------------------
+
+def _negotiate_wscale(conn, seg):
+    """RFC 1323: scaling applies only when both SYNs carried the option."""
+    if seg.wscale_option is not None and conn.config.window_scale is not None:
+        conn.snd_scale = seg.wscale_option
+        conn.rcv_scale = conn.config.window_scale
+        conn.cc.max_window = 0xFFFF << conn.snd_scale
+
+
+def _synchronized_input(conn, seg):
+    rcv_wnd = tcp_output.receiver_window(conn)
+
+    if not _acceptable(conn, seg, rcv_wnd):
+        if not seg.flags & RST:
+            conn.ack_now = True
+            tcp_output.tcp_output(conn)
+        conn.stats.bad_segments += 1
+        return
+
+    seg = _trim_to_window(conn, seg, rcv_wnd)
+
+    if seg.flags & RST:
+        _rst_input(conn)
+        return
+
+    if seg.flags & SYN:
+        # A SYN inside the window is fatal (RFC 793 p.71).
+        tcp_output.send_rst(conn)
+        conn._enter_closed(ConnectionReset("SYN inside window"))
+        return
+
+    if not seg.flags & ACK:
+        return  # every synchronized-state segment must carry an ACK
+
+    if not _ack_input(conn, seg):
+        return  # the ACK killed the connection or was futile
+
+    if seg.flags & URG:
+        _urg_input(conn, seg)
+
+    _data_input(conn, seg)
+
+    if conn.state != TCPState.CLOSED:
+        tcp_output.tcp_output(conn)
+
+
+def _acceptable(conn, seg, rcv_wnd):
+    """RFC 793 acceptability test (four cases)."""
+    seg_len = seg.wire_len
+    if seg_len == 0 and rcv_wnd == 0:
+        return seg.seq == conn.rcv_nxt
+    if seg_len == 0:
+        return seq_le(conn.rcv_nxt, seg.seq) and seq_lt(
+            seg.seq, seq_add(conn.rcv_nxt, rcv_wnd)
+        )
+    if rcv_wnd == 0:
+        # Still accept pure ACK information carried with data we must drop.
+        return seg.seq == conn.rcv_nxt and not seg.payload
+    first_ok = seq_le(conn.rcv_nxt, seg.seq) and seq_lt(
+        seg.seq, seq_add(conn.rcv_nxt, rcv_wnd)
+    )
+    last = seq_add(seg.seq, seg_len - 1)
+    last_ok = seq_le(conn.rcv_nxt, last) and seq_lt(
+        last, seq_add(conn.rcv_nxt, rcv_wnd)
+    )
+    return first_ok or last_ok
+
+
+def _trim_to_window(conn, seg, rcv_wnd):
+    """Drop payload bytes outside [rcv_nxt, rcv_nxt + rcv_wnd)."""
+    payload = seg.payload
+    seq = seg.seq
+    # Front trim (old data; also swallows a retransmitted FIN's SYN bit).
+    behind = seq_diff(conn.rcv_nxt, seq)
+    if behind > 0:
+        if seg.flags & SYN:
+            seg.flags &= ~SYN
+            seq = seq_add(seq, 1)
+            behind -= 1
+        drop = min(behind, len(payload))
+        payload = payload[drop:]
+        seq = seq_add(seq, drop)
+        if behind > drop:
+            # The FIN (if any) is also old news.
+            seg.flags &= ~FIN
+    # Back trim (beyond the window).
+    window_edge = seq_add(conn.rcv_nxt, rcv_wnd)
+    overflow = seq_diff(seq_add(seq, len(payload)), window_edge)
+    if overflow > 0:
+        payload = payload[: max(0, len(payload) - overflow)]
+        seg.flags &= ~FIN
+    seg.seq = seq
+    seg.payload = payload
+    return seg
+
+
+def _rst_input(conn):
+    if conn.state == TCPState.SYN_RECEIVED:
+        conn._enter_closed(ConnectionRefused("connection refused"))
+    elif conn.state in (TCPState.CLOSING, TCPState.LAST_ACK, TCPState.TIME_WAIT):
+        conn._enter_closed(None)
+    else:
+        conn._enter_closed(ConnectionReset("connection reset by peer"))
+
+
+def _ack_input(conn, seg):
+    """Process the ACK field; returns False if processing must stop."""
+    if conn.state == TCPState.SYN_RECEIVED:
+        if seq_lt(conn.snd_una, seg.ack) or seg.ack == conn.snd_una:
+            pass
+        if seq_lt(seg.ack, conn.snd_una) or seq_gt(seg.ack, conn.snd_max):
+            rst = tcp_output.rst_for(seg)
+            if rst is not None:
+                conn.emit(rst)
+            return False
+        conn.set_state(TCPState.ESTABLISHED)
+        conn.snd_wnd = seg.window << conn.snd_scale
+        conn.snd_wl1 = seg.seq
+        conn.snd_wl2 = seg.ack
+
+    if seq_gt(seg.ack, conn.snd_max):
+        # ACK for data never sent: ack back and drop.
+        conn.ack_now = True
+        tcp_output.tcp_output(conn)
+        return False
+
+    acked = seq_diff(seg.ack, conn.snd_una)
+
+    if acked <= 0:
+        # Possible duplicate ACK (Jacobson fast retransmit).
+        if (
+            acked == 0
+            and not seg.payload
+            and (seg.window << conn.snd_scale) == conn.snd_wnd
+            and conn.snd_una != conn.snd_max
+        ):
+            conn.stats.dup_acks_received += 1
+            if conn.cc.on_duplicate_ack(conn.flight_size()):
+                # Tahoe fast retransmit: back to snd_una in slow start.
+                conn.snd_nxt = conn.snd_una
+                conn.t_rtt = 0
+                tcp_output.tcp_output(conn, force=True)
+    else:
+        # The ACK advances: retire data (and SYN/FIN octets) it covers.
+        syn_octet = 1 if conn.snd_una == conn.iss else 0
+        data_acked = acked - syn_octet
+        fin_octet = 0
+        if conn.fin_sent and seq_ge(seg.ack, conn.snd_max) and data_acked > len(
+            conn.snd_buffer
+        ):
+            fin_octet = 1
+            data_acked -= 1
+        conn.snd_buffer.drop(min(data_acked, len(conn.snd_buffer)))
+        if conn.t_rtt and seq_gt(seg.ack, conn.rtt_seq):
+            conn.rtt.update(conn.t_rtt)
+            conn.t_rtt = 0
+        conn.rtt.rxtshift = 0
+        conn.cc.on_ack(True)
+        conn.snd_una = seg.ack
+        if seq_lt(conn.snd_nxt, conn.snd_una):
+            conn.snd_nxt = conn.snd_una
+        if conn.snd_una == conn.snd_max:
+            conn.stop_timer(TCPT_REXMT)
+        else:
+            conn.start_timer(TCPT_REXMT, conn.rtt.rto_ticks())
+
+        fin_acked = conn.fin_sent and conn.snd_una == conn.snd_max and fin_octet
+        _ack_state_transitions(conn, fin_acked or (
+            conn.fin_sent and conn.snd_una == conn.snd_max
+        ))
+        if conn.state == TCPState.CLOSED:
+            return False
+
+    _update_send_window(conn, seg)
+    return True
+
+
+def _ack_state_transitions(conn, fin_acked):
+    if not fin_acked:
+        return
+    if conn.state == TCPState.FIN_WAIT_1:
+        conn.set_state(TCPState.FIN_WAIT_2)
+    elif conn.state == TCPState.CLOSING:
+        conn.set_state(TCPState.TIME_WAIT)
+        conn.start_timer(TCPT_2MSL, 2 * conn.config.msl_ticks)
+    elif conn.state == TCPState.LAST_ACK:
+        conn._enter_closed(None)
+
+
+def _update_send_window(conn, seg):
+    if (
+        seq_lt(conn.snd_wl1, seg.seq)
+        or (conn.snd_wl1 == seg.seq and seq_le(conn.snd_wl2, seg.ack))
+    ):
+        conn.snd_wnd = seg.window << conn.snd_scale
+        conn.snd_wl1 = seg.seq
+        conn.snd_wl2 = seg.ack
+
+
+def _urg_input(conn, seg):
+    urgent = seq_add(seg.seq, seg.urgent)
+    if not conn.urgent_valid or seq_gt(urgent, conn.rcv_up):
+        conn.rcv_up = urgent
+        conn.urgent_valid = True
+
+
+def _data_input(conn, seg):
+    payload = seg.payload
+    fin = bool(seg.flags & FIN)
+    if not payload and not fin:
+        return
+    if payload and conn.state not in RECEIVE_OK:
+        return  # data after our FIN exchange completed: ignore
+
+    if payload:
+        if seg.seq == conn.rcv_nxt and conn.reass.pending_segments() == 0:
+            # Fast path: exactly the next data, nothing queued.
+            conn.rcv_buffer.append(payload)
+            conn.rcv_nxt = seq_add(conn.rcv_nxt, len(payload))
+            conn.stats.bytes_received += len(payload)
+            if conn.config.delayed_ack and not conn.ack_now:
+                if conn.delack_pending:
+                    conn.ack_now = True  # every second segment acks at once
+                else:
+                    conn.delack_pending = True
+            else:
+                conn.ack_now = True
+        else:
+            conn.stats.out_of_order += 1
+            conn.reass.insert(seg.seq, payload)
+            data, new_nxt = conn.reass.extract(conn.rcv_nxt)
+            if data:
+                conn.rcv_buffer.append(data)
+                conn.stats.bytes_received += len(data)
+                conn.rcv_nxt = new_nxt
+            conn.ack_now = True  # out-of-order: duplicate ACK immediately
+
+    if fin:
+        fin_seq = seq_add(seg.seq, len(payload))
+        if fin_seq != conn.rcv_nxt:
+            return  # FIN beyond a hole: wait for the hole to fill
+        if not conn.fin_received:
+            conn.fin_received = True
+            conn.rcv_nxt = seq_add(conn.rcv_nxt, 1)
+        conn.ack_now = True
+        if conn.state == TCPState.ESTABLISHED:
+            conn.set_state(TCPState.CLOSE_WAIT)
+        elif conn.state == TCPState.FIN_WAIT_1:
+            # Our FIN is not yet acked (else we'd be in FIN_WAIT_2).
+            conn.set_state(TCPState.CLOSING)
+        elif conn.state == TCPState.FIN_WAIT_2:
+            conn.set_state(TCPState.TIME_WAIT)
+            conn.start_timer(TCPT_2MSL, 2 * conn.config.msl_ticks)
+        elif conn.state == TCPState.TIME_WAIT:
+            conn.start_timer(TCPT_2MSL, 2 * conn.config.msl_ticks)

@@ -1,0 +1,50 @@
+"""TCP sequence-number arithmetic (comparisons modulo 2**32).
+
+These are the SEQ_LT/LEQ/GT/GEQ macros of the BSD stack.  All comparisons
+are window-relative: ``a < b`` iff ``(a - b) mod 2**32`` is "negative" as
+a signed 32-bit value.
+"""
+
+MOD = 1 << 32
+
+
+def seq_add(a, n):
+    """``a + n`` modulo 2**32 (n may be negative)."""
+    return (a + n) % MOD
+
+
+def seq_diff(a, b):
+    """Signed distance from ``b`` to ``a`` (positive when a is ahead)."""
+    d = (a - b) % MOD
+    if d >= MOD // 2:
+        d -= MOD
+    return d
+
+
+def seq_lt(a, b):
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a, b):
+    return seq_diff(a, b) <= 0
+
+
+def seq_gt(a, b):
+    return seq_diff(a, b) > 0
+
+
+def seq_ge(a, b):
+    return seq_diff(a, b) >= 0
+
+
+def seq_max(a, b):
+    return a if seq_ge(a, b) else b
+
+
+def seq_min(a, b):
+    return a if seq_le(a, b) else b
+
+
+def seq_between(low, x, high):
+    """``low <= x < high`` in sequence space."""
+    return seq_le(low, x) and seq_lt(x, high)

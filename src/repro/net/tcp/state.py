@@ -1,0 +1,77 @@
+"""The RFC 793 connection state machine: states and legal transitions."""
+
+from enum import Enum
+
+
+class TCPState(Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+#: States from which user data may be sent.
+SEND_OK = frozenset({TCPState.ESTABLISHED, TCPState.CLOSE_WAIT})
+
+#: States in which received data is accepted into the receive queue.
+RECEIVE_OK = frozenset(
+    {TCPState.ESTABLISHED, TCPState.FIN_WAIT_1, TCPState.FIN_WAIT_2}
+)
+
+#: States where the connection is at least half-open.
+SYNCHRONIZED = frozenset(
+    {
+        TCPState.ESTABLISHED,
+        TCPState.FIN_WAIT_1,
+        TCPState.FIN_WAIT_2,
+        TCPState.CLOSE_WAIT,
+        TCPState.CLOSING,
+        TCPState.LAST_ACK,
+        TCPState.TIME_WAIT,
+    }
+)
+
+#: The legal transition relation, used by tests and a debug assertion.
+TRANSITIONS = {
+    TCPState.CLOSED: {TCPState.LISTEN, TCPState.SYN_SENT},
+    TCPState.LISTEN: {TCPState.SYN_RECEIVED, TCPState.SYN_SENT, TCPState.CLOSED},
+    TCPState.SYN_SENT: {
+        TCPState.ESTABLISHED,
+        TCPState.SYN_RECEIVED,
+        TCPState.CLOSED,
+    },
+    TCPState.SYN_RECEIVED: {
+        TCPState.ESTABLISHED,
+        TCPState.FIN_WAIT_1,
+        TCPState.CLOSED,
+        TCPState.LISTEN,
+    },
+    TCPState.ESTABLISHED: {
+        TCPState.FIN_WAIT_1,
+        TCPState.CLOSE_WAIT,
+        TCPState.CLOSED,
+    },
+    TCPState.FIN_WAIT_1: {
+        TCPState.FIN_WAIT_2,
+        TCPState.CLOSING,
+        TCPState.TIME_WAIT,
+        TCPState.CLOSED,
+    },
+    TCPState.FIN_WAIT_2: {TCPState.TIME_WAIT, TCPState.CLOSED},
+    TCPState.CLOSE_WAIT: {TCPState.LAST_ACK, TCPState.CLOSED},
+    TCPState.CLOSING: {TCPState.TIME_WAIT, TCPState.CLOSED},
+    TCPState.LAST_ACK: {TCPState.CLOSED},
+    TCPState.TIME_WAIT: {TCPState.CLOSED},
+}
+
+
+def legal_transition(old, new):
+    """True iff ``old -> new`` is a legal RFC 793 transition."""
+    return new in TRANSITIONS.get(old, frozenset())

@@ -1,0 +1,117 @@
+"""Socket buffers and TCP error types.
+
+The send buffer is indexed in sequence space: byte 0 of the buffer always
+corresponds to ``snd_una``, so ACK processing just drops from the front
+and retransmission just re-reads a slice.  The receive buffer is a plain
+in-order byte queue the user drains; its free space *is* the advertised
+window, exactly as in BSD where ``sbspace(so->so_rcv)`` feeds ``rcv_wnd``.
+"""
+
+
+class TCPError(Exception):
+    """Base class for user-visible TCP errors."""
+
+
+class ConnectionReset(TCPError):
+    """The peer reset the connection (RST received)."""
+
+
+class ConnectionRefused(TCPError):
+    """Active open was refused (RST in SYN_SENT)."""
+
+
+class ConnectionTimedOut(TCPError):
+    """Retransmission gave up (rxtshift exceeded the maximum)."""
+
+
+class NotConnected(TCPError):
+    """Operation requires an established connection."""
+
+
+class SendBuffer:
+    """Unacknowledged and unsent outgoing data, anchored at snd_una."""
+
+    def __init__(self, hiwat):
+        if hiwat < 1:
+            raise ValueError("send buffer size must be positive")
+        self.hiwat = hiwat
+        self._data = bytearray()
+
+    def __len__(self):
+        return len(self._data)
+
+    def space(self):
+        return max(0, self.hiwat - len(self._data))
+
+    def append(self, data):
+        """Queue as much of ``data`` as fits; returns the byte count taken."""
+        take = min(len(data), self.space())
+        if take:
+            self._data.extend(data[:take])
+        return take
+
+    def slice_from(self, offset, length):
+        """Bytes for the wire: ``length`` bytes starting ``offset`` past
+        snd_una (used by both transmission and retransmission)."""
+        if offset < 0:
+            raise ValueError("negative send-buffer offset")
+        return bytes(self._data[offset : offset + length])
+
+    def drop(self, count):
+        """Discard ``count`` acknowledged bytes from the front."""
+        if count > len(self._data):
+            raise ValueError("ack drops more than buffered: %d > %d"
+                             % (count, len(self._data)))
+        del self._data[:count]
+
+    def set_hiwat(self, hiwat):
+        if hiwat < 1:
+            raise ValueError("send buffer size must be positive")
+        self.hiwat = hiwat
+
+    def snapshot(self):
+        return bytes(self._data)
+
+    def restore(self, data):
+        self._data = bytearray(data)
+
+
+class ReceiveBuffer:
+    """In-order received data awaiting the application."""
+
+    def __init__(self, hiwat):
+        if hiwat < 1:
+            raise ValueError("receive buffer size must be positive")
+        self.hiwat = hiwat
+        self._data = bytearray()
+
+    def __len__(self):
+        return len(self._data)
+
+    def space(self):
+        return max(0, self.hiwat - len(self._data))
+
+    def append(self, data):
+        self._data.extend(data)
+
+    def take(self, count):
+        """Remove and return up to ``count`` bytes from the front."""
+        if count < 0:
+            raise ValueError("negative receive count")
+        out = bytes(self._data[:count])
+        del self._data[: len(out)]
+        return out
+
+    def peek(self, count):
+        return bytes(self._data[:count])
+
+    def set_hiwat(self, hiwat):
+        if hiwat < 1:
+            raise ValueError("receive buffer size must be positive")
+        self.hiwat = hiwat
+
+    def snapshot(self):
+        return bytes(self._data)
+
+    def restore(self, data):
+        self._data = bytearray(data)

@@ -1,0 +1,57 @@
+"""UDP: header encoding/decoding with pseudo-header checksums (RFC 768)."""
+
+import struct
+
+from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+from repro.net.ip import PROTO_UDP
+
+HEADER_LEN = 8
+
+#: Largest UDP payload that fits an unfragmented Ethernet IP packet
+#: (1500 - 20 IP - 8 UDP), the paper's 1472-byte message size.
+MAX_UNFRAGMENTED_PAYLOAD = 1472
+
+
+class UDPHeader:
+    """A parsed UDP header."""
+
+    __slots__ = ("src_port", "dst_port", "length")
+
+    def __init__(self, src_port, dst_port, length):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+
+    def __repr__(self):
+        return "<UDP %d -> %d len=%d>" % (self.src_port, self.dst_port, self.length)
+
+
+def encapsulate(src_ip, dst_ip, src_port, dst_port, payload):
+    """Build a UDP datagram (header + payload) with a valid checksum."""
+    length = HEADER_LEN + len(payload)
+    if length > 65535:
+        raise ValueError("UDP datagram too large: %d" % length)
+    header = struct.pack("!HHHH", src_port, dst_port, length, 0)
+    pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length)
+    checksum = internet_checksum(header + bytes(payload), initial=pseudo)
+    if checksum == 0:
+        checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+    return struct.pack("!HHHH", src_port, dst_port, length, checksum) + bytes(payload)
+
+
+def decapsulate(src_ip, dst_ip, datagram, verify=True):
+    """Split a UDP datagram into (header, payload), verifying the checksum.
+
+    Raises ValueError for short, truncated, or corrupt datagrams.
+    """
+    if len(datagram) < HEADER_LEN:
+        raise ValueError("UDP datagram too short: %d" % len(datagram))
+    src_port, dst_port, length, checksum = struct.unpack_from("!HHHH", datagram, 0)
+    if length < HEADER_LEN or length > len(datagram):
+        raise ValueError("bad UDP length field: %d" % length)
+    datagram = bytes(datagram[:length])
+    if verify and checksum != 0:
+        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length)
+        if not verify_checksum(datagram, initial=pseudo):
+            raise ValueError("bad UDP checksum")
+    return UDPHeader(src_port, dst_port, length), datagram[HEADER_LEN:]

@@ -1,0 +1,21 @@
+"""Operating system personalities.
+
+* :mod:`repro.osserver.inkernel` — Mach 2.5 / Ultrix-style in-kernel
+  protocols (the fast baseline in Tables 2-4),
+* :mod:`repro.osserver.unix_server` — the CMU UX-style single server
+  (every socket call is an RPC; the slow baseline),
+* :mod:`repro.osserver.netserver` — the paper's operating system server:
+  session creation, migration, teardown, port namespace, metastate.
+"""
+
+from repro.osserver.inkernel import InKernelNetwork, KernelSocketAPI
+from repro.osserver.unix_server import UnixServer, ServerSocketAPI
+from repro.osserver.netserver import NetServer
+
+__all__ = [
+    "InKernelNetwork",
+    "KernelSocketAPI",
+    "UnixServer",
+    "ServerSocketAPI",
+    "NetServer",
+]

@@ -1,0 +1,560 @@
+"""The operating system server of the paper's decomposed architecture.
+
+The server manages everything that is *not* the send/receive fast path
+(Figure 1): session creation and naming (the port namespace), connection
+establishment and teardown, the shared routing/ARP metastate, fork and
+select cooperation, and cleanup after dying applications.  Data transfer
+never touches it while a session is application-managed.
+
+It extends the UX machinery (it is, as in the paper, a derivative of
+CMU's UNIX server): sessions migrated *back* from applications — by fork,
+or while closing — are served through the ordinary RPC data path of
+:class:`~repro.osserver.unix_server.UnixServer`.
+
+Migration follows Section 3.2 exactly: a migrating session carries its
+local endpoint, remote endpoint, connection state variables (with any
+queued data), and a packet-filter port; the server installs/removes the
+kernel packet filters on every transition.
+"""
+
+from itertools import count
+
+from repro.filter.compile import compile_session_filter
+from repro.kernel.kernel import IPCDelivery
+from repro.net import ip
+from repro.net.tcp.header import TCPSegment, RST, ACK
+from repro.net.tcp.state import TCPState
+from repro.sim.events import any_of
+from repro.stack.engine import Notifier
+from repro.stack.instrument import Layer
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM, SocketError
+from repro.osserver.unix_server import REMAP_PER_BYTE, UnixServer
+
+#: How long a dead application's ports stay quarantined (microseconds);
+#: the paper delays the reopening of aborted connections.
+PORT_QUARANTINE_US = 60 * 1_000_000.0
+
+
+class SessionRecord:
+    """The server's record of one decomposed network session."""
+
+    __slots__ = ("sid", "kind", "app_id", "mode", "lport", "remote",
+                 "app_filter", "server_filter", "server_handle", "owns_port",
+                 "server_session", "last_snd_nxt", "last_rcv_nxt")
+
+    def __init__(self, sid, kind, app_id):
+        self.sid = sid
+        self.kind = kind
+        self.app_id = app_id
+        self.mode = "embryonic"  # embryonic -> app / server -> closed
+        self.lport = None
+        self.remote = None
+        self.app_filter = None  # kernel FilterHandle while app-managed
+        self.server_filter = None  # kernel FilterHandle while server-managed
+        self.server_handle = None  # UX-style fd while server-managed
+        self.owns_port = True  # accepted children share the listener's port
+        self.server_session = None  # engine session while server-managed
+        # Sequence state at migration-out time: enough for the server to
+        # abort the connection credibly if the application dies (§3.2).
+        self.last_snd_nxt = 0
+        self.last_rcv_nxt = 0
+
+
+def config_from_opts(stack, opts):
+    """Build a TCPConfig from a proxy-supplied socket-option dict."""
+    opts = opts or {}
+    overrides = {}
+    if "rcvbuf" in opts:
+        overrides["rcv_buf"] = opts["rcvbuf"]
+    if "sndbuf" in opts:
+        overrides["snd_buf"] = opts["sndbuf"]
+    if "nodelay" in opts:
+        overrides["nodelay"] = bool(opts["nodelay"])
+    if "window_scale" in opts:
+        overrides["window_scale"] = opts["window_scale"]
+    return stack.tcp_config(**overrides)
+
+
+class NetServer(UnixServer):
+    """The paper's OS server: UX plus the proxy/migration interface."""
+
+    def __init__(self, host, accounting=None, tcp_defaults=None,
+                 heavyweight_sync=True, name=None):
+        super().__init__(
+            host,
+            accounting=accounting,
+            tcp_defaults=tcp_defaults,
+            heavyweight_sync=heavyweight_sync,
+            # The catch-alls take stray traffic (RSTs for dead TCP ports,
+            # ICMP unreachables for dead UDP ports); per-session filters
+            # are installed at the front of the filter list and win.
+            catch_all_filter=True,
+            name=name or ("%s.netserver" % host.name),
+        )
+        self._apps = {}  # app_id -> ProtocolLibrary
+        self._app_status = {}  # app_id -> Notifier (select cooperation)
+        # ICMP is "exceptional" traffic (Section 3.1): it arrives via the
+        # catch-all filters at the OS server, which answers echoes and
+        # upcalls errors into the application session they belong to.
+        self.stack.icmp_error_hook = self._icmp_error_upcall
+        self.icmp_upcalls = 0
+        self._records = {}
+        self._sid_seq = count(1)
+        self.quarantined_ports = {}  # port -> release deadline
+        self.migrations_out = 0
+        self.migrations_in = 0
+        self.aborted_for_death = 0
+
+    # ------------------------------------------------------------------
+    # Application registration
+    # ------------------------------------------------------------------
+
+    def register_app(self, library):
+        """Register an application's protocol library with the server.
+
+        Wires the metastate invalidation callback of Section 3.3: changes
+        to the authoritative ARP cache invalidate the app's cached copy.
+        """
+        self._apps[library.app_id] = library
+        self._app_status[library.app_id] = Notifier(
+            self.host.sim, "appstatus%d" % library.app_id
+        )
+        self.host.arp.register_invalidation(library.metastate.invalidate_arp)
+        return library.app_id
+
+    def _library(self, app_id):
+        try:
+            return self._apps[app_id]
+        except KeyError:
+            raise SocketError("unregistered application %r" % app_id) from None
+
+    def _record(self, sid):
+        try:
+            return self._records[sid]
+        except KeyError:
+            raise SocketError("unknown session id %r" % sid) from None
+
+    # ------------------------------------------------------------------
+    # Filter plumbing
+    # ------------------------------------------------------------------
+
+    def _install_server_filter(self, proto, lport, remote):
+        """Point a session's packets at the server's own input port."""
+        rip, rport = remote if remote else (None, None)
+        program = compile_session_filter(
+            proto, self.host.ip, lport, remote_ip=rip, remote_port=rport
+        )
+        return self.host.kernel.install_filter(
+            program,
+            IPCDelivery(self._input_port, remap_per_byte=REMAP_PER_BYTE),
+            accounting=self.accounting,
+            name="%s.srvfilter:%d" % (self.name, lport),
+            front=True,
+        )
+
+    def _install_app_filter(self, record, proto, remote):
+        """Create the app-side packet-filter port and point the session's
+        packets at it.  Returns the receiver the library will drain."""
+        library = self._library(record.app_id)
+        delivery, receiver = library.make_delivery()
+        rip, rport = remote if remote else (None, None)
+        program = compile_session_filter(
+            proto, self.host.ip, record.lport, remote_ip=rip, remote_port=rport
+        )
+        record.app_filter = self.host.kernel.install_filter(
+            program,
+            delivery,
+            accounting=library.accounting,
+            name="%s.appfilter:%d" % (self.name, record.lport),
+            front=True,
+        )
+        return receiver
+
+    def _remove_app_filter(self, record):
+        if record.app_filter is not None:
+            self.host.kernel.remove_filter(record.app_filter)
+            record.app_filter = None
+
+    def _alloc_port(self, proto_name, port):
+        self._expire_quarantine()
+        if port and port in self.quarantined_ports:
+            raise SocketError("port %d is quarantined" % port)
+        manager = self.stack.ports[proto_name]
+        if port:
+            return manager.bind(self.host.ip, port)
+        while True:
+            candidate = manager.bind_ephemeral(self.host.ip)
+            if candidate not in self.quarantined_ports:
+                return candidate
+            manager.release(self.host.ip, candidate)
+
+    def _expire_quarantine(self):
+        now = self.host.sim.now
+        expired = [p for p, t in self.quarantined_ports.items() if t <= now]
+        for port in expired:
+            del self.quarantined_ports[port]
+
+    # ==================================================================
+    # Proxy interface (the server-side half of Table 1)
+    # ==================================================================
+
+    def op_proxy_socket(self, message):
+        app_id, kind = message.args
+        self._library(app_id)  # validate registration
+        if kind not in (SOCK_STREAM, SOCK_DGRAM):
+            raise SocketError("unsupported socket type %r" % kind)
+        sid = next(self._sid_seq)
+        self._records[sid] = SessionRecord(sid, kind, app_id)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return sid, 0
+
+    def op_proxy_bind(self, message):
+        """Set the local endpoint.  UDP sessions migrate to the app here;
+        TCP sessions only get their port reserved (Section 3.2)."""
+        sid, port = message.args
+        record = self._record(sid)
+        if record.kind == SOCK_DGRAM:
+            record.lport = self._alloc_port("udp", port)
+            receiver = self._install_app_filter(record, ip.PROTO_UDP, None)
+            record.mode = "app"
+            self.migrations_out += 1
+            yield from self.ctx.charge(
+                Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
+            )
+            return (record.lport, receiver), 0
+        record.lport = self._alloc_port("tcp", port)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return (record.lport, None), 0
+
+    def op_proxy_connect(self, message):
+        """Set the remote endpoint; both protocols migrate to the app.
+
+        For TCP the server performs the entire multi-phase handshake (the
+        extra RPC is negligible next to it, Section 3.2) and hands over
+        the established session's state variables.
+        """
+        sid, addr, opts = message.args
+        record = self._record(sid)
+        addr = tuple(addr)
+        if record.kind == SOCK_DGRAM:
+            if record.lport is None:
+                record.lport = self._alloc_port("udp", 0)
+            elif record.mode == "app":
+                # Re-connecting a bound session narrows its filter.
+                self._remove_app_filter(record)
+            record.remote = addr
+            receiver = self._install_app_filter(record, ip.PROTO_UDP, addr)
+            record.mode = "app"
+            self.migrations_out += 1
+            return (record.lport, receiver), 0
+
+        if record.lport is None:
+            record.lport = self._alloc_port("tcp", 0)
+        server_filter = self._install_server_filter(
+            ip.PROTO_TCP, record.lport, None
+        )
+        session = self.stack.tcp_create(
+            local_port=None, config=config_from_opts(self.stack, opts)
+        )
+        # tcp_create bound an ephemeral port; rebind to the record's port.
+        self.stack.ports["tcp"].release(self.host.ip, session.conn.local[1])
+        session.conn.local = (self.host.ip, record.lport)
+        session.owns_port = False  # the record owns the binding
+        try:
+            yield from self.stack.tcp_connect(session, addr)
+        except Exception:
+            self.host.kernel.remove_filter(server_filter)
+            raise
+        record.remote = addr
+        state = self.stack.export_tcp_session(session)
+        record.last_snd_nxt = state["snd_nxt"]
+        record.last_rcv_nxt = state["rcv_nxt"]
+        self.host.kernel.remove_filter(server_filter)
+        receiver = self._install_app_filter(record, ip.PROTO_TCP, addr)
+        record.mode = "app"
+        self.migrations_out += 1
+        return (record.lport, state, receiver), 0
+
+    def op_proxy_listen(self, message):
+        """Open passively: the server awaits and completes connections."""
+        sid, backlog, opts = message.args
+        record = self._record(sid)
+        if record.kind != SOCK_STREAM:
+            raise SocketError("listen on a datagram session")
+        if record.lport is None:
+            record.lport = self._alloc_port("tcp", 0)
+        listener = self.stack.tcp_create(
+            local_port=None, config=config_from_opts(self.stack, opts)
+        )
+        self.stack.ports["tcp"].release(self.host.ip, listener.conn.local[1])
+        listener.conn.local = (self.host.ip, record.lport)
+        listener.owns_port = False
+        self.stack.tcp_listen(listener, backlog)
+        record.server_session = listener
+        record.mode = "server"  # the listener itself stays with the server
+        record.server_filter = self._install_server_filter(
+            ip.PROTO_TCP, record.lport, None
+        )
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return record.lport, 0
+
+    def op_proxy_accept(self, message):
+        """Migrate a passively-opened, established session to the app."""
+        sid, app_id = message.args
+        record = self._record(sid)
+        listener = record.server_session
+        if listener is None:
+            raise SocketError("accept before listen")
+        child = yield from self.stack.tcp_accept(listener)
+        child_sid = next(self._sid_seq)
+        child_record = SessionRecord(child_sid, SOCK_STREAM, app_id)
+        child_record.lport = record.lport
+        child_record.owns_port = False
+        child_record.remote = child.remote
+        remote = child.remote
+        state = self.stack.export_tcp_session(child)
+        child_record.last_snd_nxt = state["snd_nxt"]
+        child_record.last_rcv_nxt = state["rcv_nxt"]
+        receiver = self._install_app_filter(child_record, ip.PROTO_TCP, remote)
+        child_record.mode = "app"
+        self._records[child_sid] = child_record
+        self.migrations_out += 1
+        return (child_sid, remote, state, receiver), 0
+
+    def op_proxy_return(self, message):
+        """A session migrates back to the server (fork, Section 3.2).
+
+        The state travels as RPC payload (it contains the queued data);
+        afterwards the session is server-managed and the app's descriptor
+        maps to an ordinary server handle.
+        """
+        sid, state = message.args
+        record = self._record(sid)
+        if record.mode != "app":
+            raise SocketError("proxy_return of a session not app-managed")
+        self._remove_app_filter(record)
+        if record.kind == SOCK_STREAM:
+            session = self.stack.adopt_tcp_state(state)
+            record.server_filter = self._install_server_filter(
+                ip.PROTO_TCP, record.lport, record.remote
+            )
+        else:
+            session = self.stack.adopt_udp_session(
+                (self.host.ip, record.lport), remote=record.remote
+            )
+            record.server_filter = self._install_server_filter(
+                ip.PROTO_UDP, record.lport, record.remote
+            )
+        record.server_session = session
+        desc = self.fds.alloc(record.kind, session)
+        record.server_handle = desc.fd
+        record.mode = "server"
+        self.migrations_in += 1
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return record.server_handle, 0
+
+    def op_proxy_close(self, message):
+        """Clean shutdown: the session migrates back and the server runs
+        the teardown handshake (FIN exchange, TIME_WAIT) on its own time."""
+        sid, state = message.args
+        record = self._record(sid)
+        if record.kind == SOCK_DGRAM:
+            self._remove_app_filter(record)
+            self._release_record_port(record, "udp")
+            record.mode = "closed"
+            yield from self.ctx.charge(
+                Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
+            )
+            return None, 0
+        if record.mode == "app":
+            self._remove_app_filter(record)
+            if state is not None:
+                session = self.stack.adopt_tcp_state(state)
+                self.migrations_in += 1
+                server_filter = self._install_server_filter(
+                    ip.PROTO_TCP, record.lport, record.remote
+                )
+                self.host.sim.spawn(
+                    self._graceful_close(record, session, server_filter),
+                    name="%s.close%d" % (self.name, sid),
+                )
+            else:
+                self._release_record_port(record, "tcp")
+        elif record.mode == "server":
+            if record.server_session is not None:
+                if record.server_session.conn.state == TCPState.LISTEN:
+                    record.server_session.conn.close()
+                    self.stack._deregister(record.server_session)
+                    self._remove_server_filter(record)
+                    self._release_record_port(record, "tcp")
+                else:
+                    session = record.server_session
+                    server_filter, record.server_filter = (
+                        record.server_filter, None
+                    )
+                    self.host.sim.spawn(
+                        self._graceful_close(record, session, server_filter),
+                        name="%s.close%d" % (self.name, sid),
+                    )
+        record.mode = "closed"
+        return None, 0
+
+    def _remove_server_filter(self, record):
+        if record.server_filter is not None:
+            self.host.kernel.remove_filter(record.server_filter)
+            record.server_filter = None
+
+    def _graceful_close(self, record, session, server_filter):
+        """Drive a returned session through FIN/TIME_WAIT, then clean up."""
+        yield from self.stack.tcp_close(session)
+        while session.conn.state != TCPState.CLOSED:
+            yield session.notify.wait()
+        if server_filter is not None:
+            self.host.kernel.remove_filter(server_filter)
+        self._release_record_port(record, "tcp")
+
+    def _release_record_port(self, record, proto_name):
+        if record.owns_port and record.lport is not None:
+            try:
+                self.stack.ports[proto_name].release(self.host.ip, record.lport)
+            except KeyError:
+                pass
+            record.lport = None
+
+    # ==================================================================
+    # Cooperative select (Section 3.2's "information gap" bridge)
+    # ==================================================================
+
+    def op_proxy_status(self, message):
+        """An application signals that an app-managed session changed
+        status, releasing any select blocked on its behalf."""
+        (app_id,) = message.args
+        self._app_status[app_id].fire()
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        return None, 0
+
+    def op_proxy_select(self, message):
+        """select() over the server-managed descriptors of one app, also
+        waking when the app reports local status via proxy_status."""
+        app_id, read_handles, write_handles, timeout = message.args
+        deadline = None if timeout is None else self.ctx.sim.now + timeout
+        yield from self.ctx.charge(
+            Layer.ENTRY_COPYIN, self.ctx.params.select_overhead
+        )
+        status = self._app_status[app_id]
+        while True:
+            ready_r, ready_w = self._poll_handles(read_handles, write_handles)
+            if ready_r or ready_w:
+                return (ready_r, ready_w, False), 0
+            waits = [status.wait(), self.stack.select_notify.wait()]
+            if deadline is not None:
+                if self.ctx.sim.now >= deadline:
+                    return ([], [], False), 0
+                waits.append(self.ctx.sim.timeout(deadline - self.ctx.sim.now))
+            for handle in list(read_handles) + list(write_handles):
+                session = self.fds.get(handle).payload
+                if session is not None:
+                    session.selected = True
+            winner, _value = yield any_of(self.ctx.sim, waits)
+            if winner is waits[0]:
+                # The app saw local status change: return so it rechecks.
+                return ([], [], True), 0
+
+    def _poll_handles(self, read_handles, write_handles):
+        from repro.osserver.inkernel import _poll_desc
+
+        ready_r = []
+        ready_w = []
+        for handle in read_handles:
+            state = _poll_desc(self.stack, self.fds.get(handle))
+            if state["readable"] or state["error"]:
+                ready_r.append(handle)
+        for handle in write_handles:
+            state = _poll_desc(self.stack, self.fds.get(handle))
+            if state["writable"] or state["error"]:
+                ready_w.append(handle)
+        return ready_r, ready_w
+
+    def _icmp_error_upcall(self, proto, local_port, remote_addr, error):
+        """Deliver an ICMP error to the application session it belongs
+        to — the error arrived at the server (ICMP filters point here)
+        but the session lives in an application's library."""
+        for record in self._records.values():
+            if (record.mode == "app" and record.kind == SOCK_DGRAM
+                    and record.lport == local_port):
+                library = self._apps.get(record.app_id)
+                if library is None:
+                    continue
+                key = (local_port, remote_addr[0], remote_addr[1])
+                session = library.stack._udp.get(key)
+                if session is None:
+                    session = library.stack._udp.get((local_port, None, None))
+                if session is not None:
+                    session.error = error
+                    session.notify.fire()
+                    self.icmp_upcalls += 1
+                    return
+
+    # ==================================================================
+    # Metastate service (Section 3.3)
+    # ==================================================================
+
+    def op_meta_arp(self, message):
+        app_id, next_hop_ip = message.args
+        self._library(app_id)
+        mac = yield from self.host.arp.resolve(self.ctx, next_hop_ip)
+        return mac, 0
+
+    def op_meta_route(self, message):
+        _app_id, dst_ip = message.args
+        next_hop = self.host.route(dst_ip)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        return next_hop, 0
+
+    # ==================================================================
+    # Process-death cleanup (Section 3.2, "Terminating session state")
+    # ==================================================================
+
+    def app_terminated(self, app_id):
+        """The kernel reported an application's death: abort its live
+        sessions by resetting remote peers, and quarantine the ports.
+
+        Returns a generator to be driven in a simulation process.
+        """
+        records = [
+            r
+            for r in self._records.values()
+            if r.app_id == app_id and r.mode == "app"
+        ]
+        for record in records:
+            self._remove_app_filter(record)
+            if record.kind == SOCK_STREAM and record.remote is not None:
+                yield from self._send_abort_rst(record)
+                self.quarantined_ports[record.lport] = (
+                    self.host.sim.now + PORT_QUARANTINE_US
+                )
+                self.aborted_for_death += 1
+            self._release_record_port(
+                record, "tcp" if record.kind == SOCK_STREAM else "udp"
+            )
+            record.mode = "closed"
+        self._apps.pop(app_id, None)
+
+    def _send_abort_rst(self, record):
+        """Reset the remote peer of a dead application's connection.
+
+        The server does not know the dead app's *current* sequence state,
+        but it remembers what it was at migration time; a RST sequenced
+        there lands inside the peer's window unless the dead app moved a
+        full window of data afterwards (in which case the peer's own
+        retransmissions will eventually meet the quarantined port).
+        """
+        rst = TCPSegment(
+            src_port=record.lport,
+            dst_port=record.remote[1],
+            seq=record.last_snd_nxt,
+            ack=record.last_rcv_nxt,
+            flags=RST | ACK,
+        )
+        packed = rst.pack(self.host.ip, record.remote[0])
+        yield from self.stack.ip_output(ip.PROTO_TCP, record.remote[0], packed)

@@ -1,0 +1,420 @@
+"""The single-server placement: CMU UX / BNR2SS style.
+
+The entire socket layer and protocol stack live in one user-level server
+task.  Every application socket call is a Mach RPC; packet input arrives
+from the kernel's packet filter as IPC.  Control and data therefore cross
+"twice as many protection boundaries" as in-kernel protocols, and the
+server's internal synchronization is the heavyweight simulated-spl
+package — the two effects Table 4 charges the server placement for.
+"""
+
+from itertools import count
+
+from repro.filter.compile import compile_ip_protocol_filter
+from repro.hw.cpu import Priority
+from repro.kernel.ipc import MessagePort, RPCPort
+from repro.kernel.kernel import IPCDelivery
+from repro.net import ip
+from repro.sim.events import any_of
+from repro.stack.context import ExecutionContext, light_locks, spl_locks
+from repro.stack.engine import NetEnv, NetworkStack
+from repro.stack.instrument import Layer, LayerAccounting
+from repro.core.sockets import (
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    FDTable,
+    SocketAPI,
+    SocketError,
+)
+from repro.osserver.inkernel import _apply_sockopt, _poll_desc
+
+#: Kernel->server packet delivery is by page remapping in UX, nearly free
+#: per byte (Table 4's kernel copyout row for the server barely grows
+#: with message size).
+REMAP_PER_BYTE = 0.024
+
+
+class UnixServer:
+    """A user-level UNIX server owning the host's protocol stack."""
+
+    def __init__(self, host, accounting=None, tcp_defaults=None,
+                 heavyweight_sync=True, catch_all_filter=True, name=None):
+        self.host = host
+        sim = host.sim
+        self.name = name or ("%s.ux" % host.name)
+        self.accounting = accounting or LayerAccounting()
+        locks = spl_locks(host.platform) if heavyweight_sync else light_locks(
+            host.platform
+        )
+        self.ctx = ExecutionContext(
+            sim,
+            host.cpu,
+            priority=Priority.SERVER,
+            locks=locks,
+            accounting=self.accounting,
+            name=self.name,
+        )
+        env = NetEnv(
+            local_ip=host.ip,
+            local_mac=host.mac,
+            send_frame=self._send_frame,
+            resolve=host.arp.resolve,
+            route=host.route,
+        )
+        self.stack = NetworkStack(
+            self.ctx,
+            env,
+            name=self.name,
+            udp_send_copies=True,
+            tcp_defaults=tcp_defaults,
+        )
+        self.rpc = RPCPort(sim, name="%s.rpc" % self.name)
+        self.fds = FDTable(first_fd=1000)  # server-side descriptor space
+        self._handler_seq = count()
+        self._input_port = MessagePort(sim, name="%s.pktin" % self.name)
+        if catch_all_filter:
+            for proto in (ip.PROTO_TCP, ip.PROTO_UDP, ip.PROTO_ICMP):
+                host.kernel.install_filter(
+                    compile_ip_protocol_filter(proto),
+                    IPCDelivery(self._input_port, remap_per_byte=REMAP_PER_BYTE),
+                    accounting=self.accounting,
+                    name="%s.ipfilter" % self.name,
+                )
+        sim.spawn(self._input_loop(), name="%s.netin" % self.name)
+        sim.spawn(self._dispatcher(), name="%s.rpcd" % self.name)
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+
+    def _send_frame(self, ctx, frame):
+        # The server is a user task: sending traps and copies.
+        yield from self.host.kernel.netif_send(ctx, frame, wired=False)
+
+    def _input_loop(self):
+        while True:
+            message = yield from self._input_port.receive(
+                self.ctx, Layer.KERNEL_COPYOUT
+            )
+            yield from self.stack.input_frame(message.data)
+
+    # ------------------------------------------------------------------
+    # RPC dispatch: one handler process per request, so blocking calls
+    # (accept, recv, a full send buffer) do not stall the server.
+    # ------------------------------------------------------------------
+
+    def _dispatcher(self):
+        while True:
+            message = yield from self.rpc.serve(self.ctx, layer=Layer.ENTRY_COPYIN)
+            self.host.sim.spawn(
+                self._handle(message),
+                name="%s.h%d" % (self.name, next(self._handler_seq)),
+            )
+
+    def _handle(self, message):
+        try:
+            handler = getattr(self, "op_" + message.op, None)
+            if handler is None:
+                raise SocketError("unknown server op %r" % message.op)
+            result, reply_len = yield from handler(message)
+        except Exception as exc:  # noqa: BLE001 - errno travels back by RPC
+            result, reply_len = exc, 0
+        yield from self.rpc.reply(
+            self.ctx, message, result, reply_len=reply_len,
+            layer=Layer.COPYOUT_EXIT,
+        )
+
+    # ------------------------------------------------------------------
+    # Socket operations (server side)
+    # ------------------------------------------------------------------
+
+    def op_socket(self, message):
+        (kind,) = message.args
+        if kind == SOCK_STREAM:
+            session = self.stack.tcp_create()
+        elif kind == SOCK_DGRAM:
+            session = None
+        else:
+            raise SocketError("unsupported socket type %r" % kind)
+        desc = self.fds.alloc(kind, session)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return desc.fd, 0
+
+    def _udp_session(self, desc, port=None):
+        if desc.payload is None:
+            desc.payload = self.stack.udp_create(local_port=port)
+        return desc.payload
+
+    def op_bind(self, message):
+        handle, port = message.args
+        desc = self.fds.get(handle)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        if desc.kind == SOCK_DGRAM:
+            self._udp_session(desc, port=port)
+        else:
+            old_port = desc.payload.conn.local[1]
+            if old_port != port:
+                self.stack.ports["tcp"].release(self.host.ip, old_port)
+                self.stack.ports["tcp"].bind(self.host.ip, port)
+                desc.payload.conn.local = (self.host.ip, port)
+        return None, 0
+
+    def op_listen(self, message):
+        handle, backlog = message.args
+        desc = self.fds.get(handle)
+        self.stack.tcp_listen(desc.payload, backlog)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        return None, 0
+
+    def op_accept(self, message):
+        (handle,) = message.args
+        desc = self.fds.get(handle)
+        child = yield from self.stack.tcp_accept(desc.payload)
+        child_desc = self.fds.alloc(SOCK_STREAM, child)
+        return (child_desc.fd, child.remote), 0
+
+    def op_connect(self, message):
+        handle, addr = message.args
+        desc = self.fds.get(handle)
+        if desc.kind == SOCK_DGRAM:
+            self.stack.udp_connect(self._udp_session(desc), addr)
+            yield from self.ctx.charge(
+                Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
+            )
+        else:
+            yield from self.stack.tcp_connect(desc.payload, addr)
+        return None, 0
+
+    def op_send(self, message):
+        (handle,) = message.args
+        desc = self.fds.get(handle)
+        if desc.kind == SOCK_DGRAM:
+            yield from self.stack.udp_send(desc.payload, message.data)
+            n = len(message.data)
+        else:
+            n = yield from self.stack.tcp_send(desc.payload, message.data)
+        return n, 0
+
+    def op_recv(self, message):
+        handle, max_bytes = message.args
+        desc = self.fds.get(handle)
+        if desc.kind == SOCK_DGRAM:
+            _src, data = yield from self.stack.udp_recv(
+                desc.payload, timeout_us=desc.payload.recv_timeout_us
+            )
+        else:
+            data = yield from self.stack.tcp_recv(
+                desc.payload, max_bytes,
+                timeout_us=desc.payload.recv_timeout_us,
+            )
+        return data, len(data)
+
+    def op_sendto(self, message):
+        handle, addr = message.args
+        desc = self.fds.get(handle)
+        yield from self.stack.udp_send(
+            self._udp_session(desc), message.data, dst=addr
+        )
+        return len(message.data), 0
+
+    def op_recvfrom(self, message):
+        (handle,) = message.args
+        desc = self.fds.get(handle)
+        session = self._udp_session(desc)
+        src, data = yield from self.stack.udp_recv(
+            session, timeout_us=session.recv_timeout_us
+        )
+        return (src, data), len(data)
+
+    def op_shutdown(self, message):
+        (handle,) = message.args
+        desc = self.fds.get(handle)
+        yield from self.stack.tcp_shutdown(desc.payload)
+        return None, 0
+
+    def op_close(self, message):
+        (handle,) = message.args
+        desc = self.fds.free(handle)
+        if desc is not None and desc.payload is not None:
+            if desc.kind == SOCK_DGRAM:
+                self.stack.udp_close(desc.payload)
+            else:
+                yield from self.stack.tcp_close(desc.payload)
+        return None, 0
+
+    def op_setsockopt(self, message):
+        handle, option, value = message.args
+        desc = self.fds.get(handle)
+        _apply_sockopt(desc, option, value)
+        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        return None, 0
+
+    def op_ping(self, message):
+        """ICMP echo on behalf of an application (ping is an OS service;
+        applications have no raw-socket access in this architecture)."""
+        (dst_ip,) = message.args
+        rtt = yield from self.stack.ping(dst_ip)
+        return rtt, 0
+
+    def op_traceroute(self, message):
+        dst_ip, max_hops = message.args
+        hops = yield from self.stack.traceroute(dst_ip, max_hops=max_hops)
+        return hops, 0
+
+    def op_select(self, message):
+        read_handles, write_handles, timeout = message.args
+        deadline = None if timeout is None else self.ctx.sim.now + timeout
+        yield from self.ctx.charge(
+            Layer.ENTRY_COPYIN, self.ctx.params.select_overhead
+        )
+        while True:
+            ready_r = [
+                h
+                for h in read_handles
+                if _ready(_poll_desc(self.stack, self.fds.get(h)), "readable")
+            ]
+            ready_w = [
+                h
+                for h in write_handles
+                if _ready(_poll_desc(self.stack, self.fds.get(h)), "writable")
+            ]
+            if ready_r or ready_w:
+                return (ready_r, ready_w), 0
+            if deadline is not None and self.ctx.sim.now >= deadline:
+                return ([], []), 0
+            for h in list(read_handles) + list(write_handles):
+                session = self.fds.get(h).payload
+                if session is not None:
+                    session.selected = True
+            waits = [self.stack.select_notify.wait()]
+            if deadline is not None:
+                waits.append(self.ctx.sim.timeout(deadline - self.ctx.sim.now))
+            yield any_of(self.ctx.sim, waits)
+
+    # ------------------------------------------------------------------
+
+    def sockets(self):
+        """A socket API instance for one application process."""
+        return ServerSocketAPI(self)
+
+
+def _ready(state, field):
+    return state[field] or state["error"]
+
+
+class ServerSocketAPI(SocketAPI):
+    """BSD sockets where every call is an RPC to the UNIX server."""
+
+    def __init__(self, server):
+        super().__init__()
+        self.server = server
+        host = server.host
+        self.ctx = ExecutionContext(
+            host.sim,
+            host.cpu,
+            priority=Priority.APPLICATION,
+            accounting=server.accounting,
+            crossings=server.ctx.crossings,
+            name="%s.app" % host.name,
+        )
+
+    def _call(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
+        result = yield from self.server.rpc.call(
+            self.ctx, op, args=args, data=data, layer=layer
+        )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def socket(self, kind):
+        handle = yield from self._call("socket", kind)
+        desc = self.fds.alloc(kind, handle)
+        return desc.fd
+
+    def bind(self, fd, port):
+        desc = self.fds.get(fd)
+        yield from self._call("bind", desc.payload, port)
+
+    def listen(self, fd, backlog=5):
+        desc = self.fds.get(fd)
+        yield from self._call("listen", desc.payload, backlog)
+
+    def accept(self, fd):
+        desc = self.fds.get(fd)
+        child_handle, remote = yield from self._call("accept", desc.payload)
+        child = self.fds.alloc(SOCK_STREAM, child_handle)
+        return child.fd, remote
+
+    def connect(self, fd, addr):
+        desc = self.fds.get(fd)
+        yield from self._call("connect", desc.payload, addr)
+
+    def send(self, fd, data):
+        desc = self.fds.get(fd)
+        n = yield from self._call("send", desc.payload, data=bytes(data))
+        return n
+
+    def recv(self, fd, max_bytes):
+        desc = self.fds.get(fd)
+        data = yield from self._call(
+            "recv", desc.payload, max_bytes, layer=Layer.COPYOUT_EXIT
+        )
+        return data
+
+    def sendto(self, fd, data, addr):
+        desc = self.fds.get(fd)
+        n = yield from self._call("sendto", desc.payload, addr, data=bytes(data))
+        return n
+
+    def recvfrom(self, fd):
+        desc = self.fds.get(fd)
+        src, data = yield from self._call(
+            "recvfrom", desc.payload, layer=Layer.COPYOUT_EXIT
+        )
+        return data, src
+
+    def shutdown(self, fd):
+        desc = self.fds.get(fd)
+        yield from self._call("shutdown", desc.payload)
+
+    def close(self, fd):
+        desc = self.fds.free(fd)
+        if desc is not None:
+            yield from self._call("close", desc.payload)
+
+    def setsockopt(self, fd, option, value):
+        desc = self.fds.get(fd)
+        yield from self._call("setsockopt", desc.payload, option, value)
+
+    def select(self, read_fds, write_fds=(), timeout=None):
+        read_handles = [self.fds.get(fd).payload for fd in read_fds]
+        write_handles = [self.fds.get(fd).payload for fd in write_fds]
+        ready_r, ready_w = yield from self._call(
+            "select", read_handles, write_handles, timeout
+        )
+        handle_to_fd = {self.fds.get(fd).payload: fd for fd in
+                        list(read_fds) + list(write_fds)}
+        return (
+            [handle_to_fd[h] for h in ready_r],
+            [handle_to_fd[h] for h in ready_w],
+        )
+
+    def ping(self, dst_ip, **_kwargs):
+        rtt = yield from self._call("ping", dst_ip)
+        return rtt
+
+    def traceroute(self, dst_ip, max_hops=16):
+        hops = yield from self._call("traceroute", dst_ip, max_hops)
+        return hops
+
+    def fork(self):
+        """Server-based sockets fork trivially: the sessions live in the
+        server, so the child shares the server-side descriptors.  (A
+        generator, like every socket call.)"""
+        yield from self.ctx.charge(
+            Layer.ENTRY_COPYIN, self.ctx.params.proc_call
+        )
+        child = ServerSocketAPI(self.server)
+        for desc in self.fds.descriptors():
+            child.fds.adopt(desc)
+        return child

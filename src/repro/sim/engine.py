@@ -1,0 +1,166 @@
+"""The simulation event loop.
+
+The :class:`Simulator` owns a virtual clock (a float, in microseconds by
+convention throughout this project) and a priority queue of scheduled
+items.  Two kinds of items are scheduled: events to dispatch (waking their
+waiters) and bare callables.  Ties in time are broken by insertion order,
+which makes every run fully deterministic.
+"""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import Deadlock
+from repro.sim.events import Event
+from repro.sim.process import Process, Timeout
+
+
+class Simulator:
+    """A discrete-event simulator with a microsecond virtual clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []
+        self._seq = count()
+        self._live_processes = 0
+
+    @property
+    def now(self):
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def event(self, name=""):
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        ev = Event(self, name="timeout")
+        self.call_at(self._now + delay, ev.succeed, value)
+        return ev
+
+    def call_soon(self, fn, *args):
+        """Run ``fn(*args)`` at the current simulated time, after the
+        currently-executing item finishes."""
+        heapq.heappush(self._queue, (self._now, next(self._seq), "call", fn, args))
+
+    def call_at(self, when, fn, *args):
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError("cannot schedule in the past: %r < %r" % (when, self._now))
+        heapq.heappush(self._queue, (when, next(self._seq), "call", fn, args))
+
+    def call_later(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` microseconds."""
+        self.call_at(self._now + delay, fn, *args)
+
+    def _schedule_event(self, event):
+        """Queue a triggered event's callbacks for dispatch (engine use)."""
+        heapq.heappush(
+            self._queue, (self._now, next(self._seq), "dispatch", event, None)
+        )
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator, name=""):
+        """Start a new coroutine process running ``generator``.
+
+        Returns the :class:`Process`, which is itself an event that fires
+        with the generator's return value when it finishes.
+        """
+        proc = Process(self, generator, name=name)
+        self._live_processes += 1
+        proc.add_callback(self._process_done)
+        self.call_soon(proc._resume, None, proc._wait_token)
+        return proc
+
+    def _process_done(self, _event):
+        self._live_processes -= 1
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Execute the next scheduled item.  Returns False if none remain."""
+        if not self._queue:
+            return False
+        when, _seq, kind, payload, extra = heapq.heappop(self._queue)
+        self._now = when
+        if kind == "call":
+            payload(*extra)
+        else:  # "dispatch": run a triggered event's callbacks
+            callbacks, payload.callbacks = payload.callbacks, None
+            for callback in callbacks:
+                callback(payload)
+        return True
+
+    def run(self, until=None, detect_deadlock=False):
+        """Run the simulation.
+
+        With ``until=None`` runs until no scheduled items remain.  With a
+        time bound, stops once the clock would pass ``until`` and sets the
+        clock to exactly ``until``.  With ``detect_deadlock=True``, raises
+        :class:`Deadlock` if live processes remain when the queue drains.
+        """
+        if until is not None and until < self._now:
+            raise ValueError("until %r is in the past (now=%r)" % (until, self._now))
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+        if detect_deadlock and self._live_processes > 0:
+            raise Deadlock(
+                "%d process(es) blocked with no scheduled events"
+                % self._live_processes
+            )
+
+    def run_process(self, generator, until=None, name=""):
+        """Spawn ``generator`` and run until it finishes; return its value.
+
+        Unlike :meth:`run`, this stops as soon as the process completes,
+        so perpetual background processes (timers, input threads) do not
+        keep the call from returning.  Raises :class:`Deadlock` if the
+        event queue drains (or ``until`` passes) before it finishes.
+        """
+        proc = self.spawn(generator, name=name)
+        while not proc.triggered and self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if not proc.triggered:
+            raise Deadlock("process %r did not finish" % (name or proc))
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def run_all(self, generators, until=None):
+        """Spawn several processes; run until all finish; return values."""
+        procs = [self.spawn(gen) for gen in generators]
+        while not all(p.triggered for p in procs) and self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        results = []
+        for proc in procs:
+            if not proc.triggered:
+                raise Deadlock("process %r did not finish" % proc)
+            if not proc.ok:
+                raise proc.value
+            results.append(proc.value)
+        return results
+
+    def sleep(self, delay):
+        """Convenience generator: ``yield from sim.sleep(dt)``."""
+        yield Timeout(delay)

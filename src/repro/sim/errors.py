@@ -1,0 +1,23 @@
+"""Error types raised by the simulation engine."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation machinery."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter
+    supplied, typically a short string describing why.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Deadlock(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain but no events
+    are scheduled, i.e. every live process waits on an event that can never
+    fire."""

@@ -1,0 +1,127 @@
+"""Coroutine processes.
+
+A :class:`Process` drives a generator.  The generator suspends by yielding:
+
+* ``Timeout(dt)`` — resume ``dt`` microseconds later,
+* an :class:`~repro.sim.events.Event` — resume when it fires (the yield
+  expression evaluates to the event's value; failed events re-raise their
+  exception inside the generator),
+* another :class:`Process` — processes are events, so this joins it.
+
+A process is itself an event that fires with the generator's return value,
+so processes can be joined or waited on like any other event.
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event, PENDING
+
+
+class Timeout:
+    """Yielded by a process to advance simulated time by ``delay``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay, value=None):
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self):
+        return "Timeout(%r)" % self.delay
+
+
+class Process(Event):
+    """A running coroutine.  Create via :meth:`Simulator.spawn`."""
+
+    __slots__ = ("_generator", "_wait_token", "_alive")
+
+    def __init__(self, sim, generator, name=""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "spawn() needs a generator, got %r -- did you call the "
+                "function instead of passing its generator?" % (generator,)
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "proc"))
+        self._generator = generator
+        self._wait_token = object()
+        self._alive = True
+
+    @property
+    def alive(self):
+        """True until the generator finishes or fails."""
+        return self._alive
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Whatever the process was waiting on is abandoned (its eventual
+        trigger is ignored).  Interrupting a finished process is an error.
+        """
+        if not self._alive:
+            raise SimulationError("cannot interrupt finished process %r" % self)
+        token = self._wait_token = object()  # invalidate the pending wait
+        self._sim.call_soon(self._resume, _Failure(Interrupt(cause)), token)
+
+    # ------------------------------------------------------------------
+
+    def _resume(self, trigger, token):
+        """Advance the generator.  ``trigger`` is None (first resume), an
+        Event that fired, or a _Failure carrying an exception to throw."""
+        if token is not self._wait_token or not self._alive:
+            return  # stale wakeup (the process was interrupted meanwhile)
+        try:
+            if trigger is None:
+                target = self._generator.send(None)
+            elif isinstance(trigger, _Failure):
+                target = self._generator.throw(trigger.exception)
+            elif trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._finish_fail(exc)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target):
+        token = self._wait_token = object()
+        if isinstance(target, Timeout):
+            ev = self._sim.timeout(target.delay, target.value)
+            ev.add_callback(lambda e, t=token: self._resume(e, t))
+        elif isinstance(target, Event):
+            target.add_callback(lambda e, t=token: self._resume(e, t))
+        else:
+            self._finish_fail(
+                SimulationError(
+                    "process %r yielded %r; expected Timeout, Event, or "
+                    "Process" % (self, target)
+                )
+            )
+
+    def _finish_ok(self, value):
+        self._alive = False
+        if self._state == PENDING:
+            self.succeed(value)
+
+    def _finish_fail(self, exc):
+        self._alive = False
+        if self._state == PENDING:
+            self.fail(exc)
+        else:  # pragma: no cover - defensive
+            raise exc
+
+    def __repr__(self):
+        return "<Process %s %s>" % (self.name, "alive" if self._alive else "done")
+
+
+class _Failure:
+    """Internal marker: resume the generator by throwing an exception."""
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception):
+        self.exception = exception

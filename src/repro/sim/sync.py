@@ -1,0 +1,322 @@
+"""Synchronization primitives in simulated time.
+
+All blocking operations are generators meant to be driven with
+``yield from`` inside a process.  None of them charge CPU time by
+themselves; cost accounting is the caller's job (see
+:mod:`repro.stack.context`).
+
+Every blocking operation *reneges* cleanly: if an exception (an
+:class:`~repro.sim.errors.Interrupt` from another process, or
+``GeneratorExit`` at teardown) reaches a process while it waits, the
+waiter withdraws from the queue — and if the resource had already been
+handed to it, the hand-off is forwarded to the next waiter instead of
+leaking.  Without this, interrupting a thread that is queued on a lock
+would leave the lock held by a ghost forever.
+"""
+
+import heapq
+from collections import deque
+from itertools import count
+
+from repro.sim.errors import SimulationError
+
+
+class _Waiter:
+    """A queue entry that can be withdrawn (lazy removal)."""
+
+    __slots__ = ("event", "alive")
+
+    def __init__(self, event):
+        self.event = event
+        self.alive = True
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock."""
+
+    def __init__(self, sim, name=""):
+        self._sim = sim
+        self._locked = False
+        self._waiters = deque()
+        self.name = name
+
+    @property
+    def locked(self):
+        return self._locked
+
+    def acquire(self):
+        """``yield from lock.acquire()``"""
+        if not self._locked:
+            self._locked = True
+            return
+        waiter = _Waiter(self._sim.event("lock:%s" % self.name))
+        self._waiters.append(waiter)
+        try:
+            yield waiter.event
+        except BaseException:
+            waiter.alive = False
+            if waiter.event.triggered:
+                # The lock was handed to us as we died: pass it on.
+                self.release()
+            raise
+
+    def try_acquire(self):
+        """Non-blocking acquire; returns True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def release(self):
+        if not self._locked:
+            raise SimulationError("release of unlocked %r" % self)
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.alive:
+                # Hand the lock directly to the next waiter: stays locked.
+                waiter.event.succeed()
+                return
+        self._locked = False
+
+    def __repr__(self):
+        return "<Lock %s %s>" % (self.name, "held" if self._locked else "free")
+
+
+class PriorityLock:
+    """A lock that grants access to the highest-priority waiter first.
+
+    Lower numeric priority wins (priority 0 preempts priority 10 at the
+    next release point).  Equal priorities are FIFO.  This is the
+    scheduling substrate for the simulated CPU.
+    """
+
+    def __init__(self, sim, name=""):
+        self._sim = sim
+        self._locked = False
+        self._heap = []
+        self._live = 0
+        self._seq = count()
+        self.name = name
+
+    @property
+    def locked(self):
+        return self._locked
+
+    def acquire(self, priority=0):
+        if not self._locked:
+            self._locked = True
+            return
+        waiter = _Waiter(self._sim.event("plock:%s" % self.name))
+        heapq.heappush(self._heap, (priority, next(self._seq), waiter))
+        self._live += 1
+        try:
+            yield waiter.event
+        except BaseException:
+            if waiter.alive:
+                waiter.alive = False
+                self._live -= 1
+            if waiter.event.triggered:
+                self.release()
+            raise
+
+    def release(self):
+        if not self._locked:
+            raise SimulationError("release of unlocked %r" % self)
+        while self._heap:
+            _prio, _seq, waiter = heapq.heappop(self._heap)
+            if waiter.alive:
+                waiter.alive = False
+                self._live -= 1
+                waiter.event.succeed()
+                return
+        self._locked = False
+
+    def waiting(self):
+        """Number of blocked acquirers."""
+        return self._live
+
+
+class Condition:
+    """A condition variable tied to a :class:`Lock`.
+
+    ``wait()`` atomically releases the lock and suspends; waking reacquires
+    the lock before returning, exactly like POSIX condition variables.
+    """
+
+    def __init__(self, sim, lock=None, name=""):
+        self._sim = sim
+        self.lock = lock if lock is not None else Lock(sim, name + ".lock")
+        self._waiters = deque()
+        self.name = name
+
+    def wait(self):
+        """``yield from cond.wait()`` — caller must hold the lock."""
+        if not self.lock.locked:
+            raise SimulationError("wait() on %r without holding its lock" % self)
+        waiter = _Waiter(self._sim.event("cond:%s" % self.name))
+        self._waiters.append(waiter)
+        self.lock.release()
+        try:
+            yield waiter.event
+        except BaseException:
+            if waiter.alive:
+                waiter.alive = False
+            elif waiter.event.triggered:
+                # We consumed a notify we will never act on: re-notify.
+                self.notify(1)
+            raise
+        yield from self.lock.acquire()
+
+    def notify(self, n=1):
+        """Wake up to ``n`` waiters (they still must reacquire the lock)."""
+        woken = 0
+        while self._waiters and woken < n:
+            waiter = self._waiters.popleft()
+            if waiter.alive:
+                waiter.alive = False
+                waiter.event.succeed()
+                woken += 1
+        return woken
+
+    def notify_all(self):
+        return self.notify(len(self._waiters))
+
+    def waiting(self):
+        return sum(1 for w in self._waiters if w.alive)
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim, value=0, name=""):
+        if value < 0:
+            raise ValueError("negative initial value: %r" % value)
+        self._sim = sim
+        self._value = value
+        self._waiters = deque()
+        self.name = name
+
+    @property
+    def value(self):
+        return self._value
+
+    def down(self):
+        """``yield from sem.down()`` — block until a unit is available."""
+        if self._value > 0:
+            self._value -= 1
+            return
+        waiter = _Waiter(self._sim.event("sem:%s" % self.name))
+        self._waiters.append(waiter)
+        try:
+            yield waiter.event
+        except BaseException:
+            waiter.alive = False
+            if waiter.event.triggered:
+                self.up()  # the unit handed to us is forwarded
+            raise
+
+    def try_down(self):
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def up(self, n=1):
+        """Release ``n`` units, waking blocked processes first."""
+        for _ in range(n):
+            woken = False
+            while self._waiters:
+                waiter = self._waiters.popleft()
+                if waiter.alive:
+                    waiter.alive = False
+                    waiter.event.succeed()
+                    woken = True
+                    break
+            if not woken:
+                self._value += 1
+
+
+class Channel:
+    """A FIFO message queue between processes.
+
+    ``capacity=None`` makes it unbounded (``put`` never blocks).  A bounded
+    channel blocks producers when full, which models back-pressure such as
+    a full device transmit queue.
+    """
+
+    def __init__(self, sim, capacity=None, name=""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self._sim = sim
+        self._capacity = capacity
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()
+        self.name = name
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    def _wake(self, waiters):
+        while waiters:
+            waiter = waiters.popleft()
+            if waiter.alive:
+                waiter.alive = False
+                waiter.event.succeed()
+                return True
+        return False
+
+    def put(self, item):
+        """``yield from chan.put(item)``"""
+        while self._capacity is not None and len(self._items) >= self._capacity:
+            waiter = _Waiter(self._sim.event("chan.put:%s" % self.name))
+            self._putters.append(waiter)
+            try:
+                yield waiter.event
+            except BaseException:
+                waiter.alive = False
+                if waiter.event.triggered:
+                    self._wake(self._putters)  # forward the free slot
+                raise
+        self._items.append(item)
+        self._wake(self._getters)
+
+    def try_put(self, item):
+        """Non-blocking put; returns False if the channel is full."""
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            return False
+        self._items.append(item)
+        self._wake(self._getters)
+        return True
+
+    def get(self):
+        """``item = yield from chan.get()``"""
+        while not self._items:
+            waiter = _Waiter(self._sim.event("chan.get:%s" % self.name))
+            self._getters.append(waiter)
+            try:
+                yield waiter.event
+            except BaseException:
+                waiter.alive = False
+                if waiter.event.triggered:
+                    self._wake(self._getters)  # forward the wakeup
+                raise
+        item = self._items.popleft()
+        self._wake(self._putters)
+        return item
+
+    def try_get(self):
+        """Non-blocking get; returns (True, item) or (False, None)."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._wake(self._putters)
+        return True, item
+
+    def peek_all(self):
+        """A snapshot list of queued items (for tests and introspection)."""
+        return list(self._items)

@@ -1,0 +1,19 @@
+"""One protocol engine, three placements.
+
+:mod:`repro.stack.context` supplies the execution context (CPU, cost
+model, lock package, instrumentation) under which the shared protocol
+engine (:mod:`repro.stack.engine`) runs — in the kernel, in the UX
+server, or in the application's protocol library.
+"""
+
+from repro.stack.context import ExecutionContext
+from repro.stack.instrument import Layer, LayerAccounting
+from repro.stack.engine import NetworkStack, SocketTimeout
+
+__all__ = [
+    "ExecutionContext",
+    "Layer",
+    "LayerAccounting",
+    "NetworkStack",
+    "SocketTimeout",
+]

@@ -1,0 +1,835 @@
+"""The protocol engine: socket-level TCP/UDP over IP over Ethernet.
+
+One :class:`NetworkStack` instance is the protocol machinery for one
+placement: the in-kernel stack, the UX server's stack, the OS server's
+setup stack, or one application's protocol library.  All of them run this
+same code (as the paper reuses the BSD code everywhere); what differs is
+the :class:`~repro.stack.context.ExecutionContext` (whose CPU priority,
+lock package, and accounting they charge) and the :class:`NetEnv` (how
+frames reach the wire and how ARP/routing metastate is found).
+
+All public operations are generators to be driven inside a simulation
+process.  Calls into the sans-I/O TCP machine itself are atomic (no
+yields), so the engine is race-free under the cooperative scheduler.
+"""
+
+from repro.mem.mbuf import MbufStats
+from repro.net import arp, ethernet, icmp, ip, udp
+from repro.net.ports import PortManager
+from repro.net.tcp import TCPConfig, TCPConnection, TCPState
+from repro.net.tcp.header import TCPSegment
+from repro.net.tcp.output import rst_for
+from repro.net.tcp.tcb import TCPError
+from repro.net.tcp.timers import FAST_TICK_US, SLOW_TICK_US
+from repro.sim.process import Timeout
+from repro.stack.instrument import Layer
+
+
+class SocketTimeout(Exception):
+    """A blocking socket operation exceeded its deadline."""
+
+
+class PortUnreachable(Exception):
+    """ICMP port unreachable arrived for a connected UDP session — the
+    moral equivalent of BSD's ECONNREFUSED on a connected datagram
+    socket."""
+
+
+class Notifier:
+    """Edge-triggered broadcast wakeup: waiters re-check their condition."""
+
+    def __init__(self, sim, name=""):
+        self._sim = sim
+        self._event = sim.event(name)
+        self.waiters = 0
+
+    def wait(self):
+        """``yield notifier.wait()`` — wakes on the next :meth:`fire`."""
+        self.waiters += 1
+        return self._event
+
+    def fire(self):
+        if self._event.triggered:
+            return
+        event, self._event = self._event, self._sim.event(self._event.name)
+        self.waiters = 0
+        event.succeed()
+
+
+class NetEnv:
+    """How a stack reaches the network: wire output plus metastate.
+
+    * ``send_frame(ctx, frame)`` — generator; puts a full Ethernet frame
+      on the wire, charging the caller's context (placements route this
+      through the kernel's send trap or straight to the device).
+    * ``resolve(ctx, next_hop_ip)`` — generator returning the MAC address
+      (in-kernel ARP, server ARP, or the library's cached metastate).
+    * ``route(dst_ip)`` — plain call returning the next-hop IP.
+    """
+
+    def __init__(self, local_ip, local_mac, send_frame, resolve, route):
+        self.local_ip = local_ip
+        self.local_mac = local_mac
+        self.send_frame = send_frame
+        self.resolve = resolve
+        self.route = route
+
+
+class TCPSession:
+    """A TCP endpoint plus its blocking-IO plumbing."""
+
+    def __init__(self, stack, conn, owns_port=True):
+        self.stack = stack
+        self.conn = conn
+        self.notify = Notifier(stack.ctx.sim, "tcp.notify")
+        self.accept_queue = []  # completed child sessions (listeners only)
+        self.backlog = 0
+        self.children = {}  # pending (not yet accepted) child sessions
+        self.parent = None
+        self.selected = False  # a select() is outstanding on this session
+        self.recv_timeout_us = None  # SO_RCVTIMEO, None = block forever
+        #: Whether closing this session releases its local port binding
+        #: (false for accepted children, which share the listener's port,
+        #: and for sessions migrated in from another stack).
+        self.owns_port = owns_port
+
+    @property
+    def local(self):
+        return self.conn.local
+
+    @property
+    def remote(self):
+        return self.conn.remote
+
+    def __repr__(self):
+        return "<TCPSession %s:%d %s>" % (*self.conn.local, self.conn.state.name)
+
+
+class UDPSession:
+    """A UDP endpoint: a datagram queue plus blocking-IO plumbing."""
+
+    DEFAULT_HIWAT = 41600  # BSD's udp receive-buffer default
+
+    def __init__(self, stack, local, hiwat=DEFAULT_HIWAT):
+        self.stack = stack
+        self.local = local  # (ip, port)
+        self.remote = None
+        self.queue = []  # [(src_addr, payload)]
+        self.queued_bytes = 0
+        self.hiwat = hiwat
+        self.notify = Notifier(stack.ctx.sim, "udp.notify")
+        self.drops = 0
+        self.selected = False
+        self.recv_timeout_us = None  # SO_RCVTIMEO, None = block forever
+        self.error = None  # an exception instance (ICMP error delivery)
+
+    def enqueue(self, src_addr, payload):
+        if self.queued_bytes + len(payload) > self.hiwat:
+            self.drops += 1
+            return False
+        self.queue.append((src_addr, payload))
+        self.queued_bytes += len(payload)
+        return True
+
+    def dequeue(self):
+        src, payload = self.queue.pop(0)
+        self.queued_bytes -= len(payload)
+        return src, payload
+
+    def __repr__(self):
+        return "<UDPSession %s:%d>" % self.local
+
+
+class NetworkStack:
+    """TCP/UDP/IP protocol machinery bound to one execution context."""
+
+    def __init__(self, ctx, env, name="", udp_send_copies=True,
+                 shared_buffers=False, tcp_defaults=None,
+                 port_managers=None):
+        self.ctx = ctx
+        self.env = env
+        self.name = name
+        #: False models the library's reference-passing UDP send path.
+        self.udp_send_copies = udp_send_copies
+        #: True models the NEWAPI shared application/stack buffers (§4.2).
+        self.shared_buffers = shared_buffers
+        self.tcp_defaults = tcp_defaults or {}
+        if port_managers is None:
+            port_managers = {
+                "tcp": PortManager("tcp"),
+                "udp": PortManager("udp"),
+            }
+        self.ports = port_managers
+        self._tcp = {}  # (lport, rip, rport) -> TCPSession; listeners (lport, None, None)
+        self._udp = {}
+        self.mbuf_stats = MbufStats()
+        self.reassembler = ip.Reassembler(lambda: ctx.sim.now)
+        self._ip_ident = 0
+        self._shutdown = False
+        self.unmatched_tcp = 0
+        self.unmatched_udp = 0
+        #: 4-tuples of sessions migrated away from this stack.  Straggler
+        #: segments for them are dropped silently (the peer retransmits
+        #: into the session's new filter) instead of drawing a RST.
+        self.migrated_tombstones = set()
+        #: Called with (proto, local_port, remote_addr, exception) when an
+        #: ICMP error matches no session in this stack — the OS server
+        #: uses it to upcall errors into application-managed sessions.
+        self.icmp_error_hook = None
+        self._pings = {}  # (ident, seq) -> Event
+        self._ping_ident = 0
+        self.icmp_echoes_answered = 0
+        self.icmp_errors_sent = 0
+        self.select_notify = Notifier(ctx.sim, "select")
+        self._timer_proc = ctx.sim.spawn(self._timer_loop(), name="%s.timers" % name)
+
+    def shutdown(self):
+        """Stop the timer loop (ends the simulation's pending work)."""
+        self._shutdown = True
+
+    # ==================================================================
+    # TCP socket operations
+    # ==================================================================
+
+    def tcp_config(self, **overrides):
+        settings = dict(self.tcp_defaults)
+        settings.update(overrides)
+        return TCPConfig(**settings)
+
+    def tcp_create(self, local_port=None, config=None):
+        """Create an unconnected TCP session (plain call, no charges)."""
+        if local_port is None:
+            local_port = self.ports["tcp"].bind_ephemeral(self.env.local_ip)
+        else:
+            self.ports["tcp"].bind(self.env.local_ip, local_port)
+        conn = TCPConnection(
+            (self.env.local_ip, local_port), config=config or self.tcp_config()
+        )
+        return TCPSession(self, conn)
+
+    def tcp_listen(self, session, backlog=5):
+        if session.conn.state != TCPState.CLOSED:
+            raise TCPError("listen on active session")
+        session.conn.open_passive()
+        session.backlog = max(1, backlog)
+        self._tcp[(session.local[1], None, None)] = session
+
+    def tcp_connect(self, session, remote):
+        """Active open; blocks until ESTABLISHED or failure."""
+        session.conn.open_active(remote)
+        self._register(session)
+        yield from self._tcp_drain(session)
+        while True:
+            conn = session.conn
+            if conn.is_established:
+                return
+            if conn.state == TCPState.CLOSED:
+                self._deregister(session)
+                conn.raise_if_dead()
+                raise TCPError("connection failed")
+            yield session.notify.wait()
+
+    def tcp_accept(self, listener):
+        """Block until a completed connection is available; return it."""
+        while True:
+            if listener.accept_queue:
+                child = listener.accept_queue.pop(0)
+                return child
+            if listener.conn.state != TCPState.LISTEN:
+                raise TCPError("accept on non-listening session")
+            yield listener.notify.wait()
+
+    def tcp_send(self, session, data):
+        """Blocking send of all of ``data`` (charges the copyin path)."""
+        p = self.ctx.params
+        data = bytes(data)
+        sent = 0
+        yield from self.ctx.charge_lock(Layer.ENTRY_COPYIN)
+        while sent < len(data):
+            taken = session.conn.send(data[sent:])
+            if taken:
+                if self.shared_buffers:
+                    yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.mbuf_alloc)
+                else:
+                    yield from self.ctx.charge(
+                        Layer.ENTRY_COPYIN, p.mbuf_alloc
+                    )
+                    yield from self.ctx.charge_copy(Layer.ENTRY_COPYIN, taken)
+                self.mbuf_stats.allocated += 1
+                sent += taken
+                yield from self._tcp_drain(session)
+            else:
+                yield session.notify.wait()
+                session.conn.raise_if_dead()
+        return sent
+
+    def tcp_recv(self, session, max_bytes, timeout_us=None):
+        """Blocking receive; returns b"" at EOF (peer closed).
+
+        ``timeout_us`` gives SO_RCVTIMEO semantics: the call raises
+        :class:`SocketTimeout` if no data arrives in time.
+        """
+        deadline = None if timeout_us is None else self.ctx.sim.now + timeout_us
+        while True:
+            conn = session.conn
+            if conn.receivable():
+                data = conn.receive(max_bytes)
+                if self.shared_buffers:
+                    yield from self.ctx.charge(
+                        Layer.COPYOUT_EXIT, self.ctx.params.proc_call
+                    )
+                else:
+                    yield from self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(data))
+                yield from self._tcp_drain(session)  # window updates
+                return data
+            if conn.at_eof():
+                return b""
+            conn.raise_if_dead()
+            if conn.state == TCPState.CLOSED:
+                return b""
+            yield from self._wait_or_timeout(session.notify, deadline)
+
+    def _wait_or_timeout(self, notifier, deadline):
+        """Wait for a notifier firing, honouring an optional deadline."""
+        if deadline is None:
+            yield notifier.wait()
+            return
+        from repro.sim.events import any_of
+
+        remaining = deadline - self.ctx.sim.now
+        if remaining <= 0:
+            raise SocketTimeout("receive timed out")
+        yield any_of(
+            self.ctx.sim, [notifier.wait(), self.ctx.sim.timeout(remaining)]
+        )
+        if self.ctx.sim.now >= deadline:
+            raise SocketTimeout("receive timed out")
+
+    def tcp_shutdown(self, session):
+        """shutdown(SHUT_WR): send FIN after queued data, keep reading.
+
+        The session stays where it is (unlike close, which migrates it in
+        the library placement); the read half remains usable until the
+        peer's FIN arrives.
+        """
+        session.conn.close()
+        yield from self._tcp_drain(session)
+
+    def tcp_close(self, session):
+        """Close (FIN); does not linger for the handshake to finish."""
+        session.conn.close()
+        yield from self._tcp_drain(session)
+        self._maybe_reap(session)
+
+    def tcp_abort(self, session):
+        session.conn.abort()
+        yield from self._tcp_drain(session)
+        self._maybe_reap(session)
+
+    def tcp_poll(self, session):
+        """Non-blocking readiness snapshot (select support)."""
+        conn = session.conn
+        return {
+            "readable": conn.receivable() > 0
+            or conn.at_eof()
+            or bool(session.accept_queue)
+            or conn.state == TCPState.CLOSED,
+            "writable": conn.is_established and conn.snd_buffer.space() > 0,
+            "error": conn.error is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # Session registration and migration
+    # ------------------------------------------------------------------
+
+    def _register(self, session):
+        lport = session.local[1]
+        rip, rport = session.remote if session.remote else (None, None)
+        self._tcp[(lport, rip, rport)] = session
+
+    def _deregister(self, session):
+        lport = session.local[1]
+        rip, rport = session.remote if session.remote else (None, None)
+        self._tcp.pop((lport, rip, rport), None)
+
+    def adopt_tcp_state(self, state, config=None):
+        """Import a migrated TCP session into this stack (Section 3.2)."""
+        conn = TCPConnection((0, 0), config=config or self.tcp_config())
+        conn.import_state(state)
+        session = TCPSession(self, conn, owns_port=False)
+        self.clear_tombstone(conn.local[1], conn.remote)
+        self._register(session)
+        return session
+
+    def export_tcp_session(self, session):
+        """Export a session's state and remove it from this stack.
+
+        The 4-tuple is tombstoned so stragglers still in this stack's
+        input path do not trigger RSTs while the session lives elsewhere.
+        """
+        self._deregister(session)
+        lport = session.local[1]
+        rip, rport = session.remote if session.remote else (None, None)
+        self.migrated_tombstones.add((lport, rip, rport))
+        return session.conn.export_state()
+
+    def clear_tombstone(self, local_port, remote):
+        """Drop a tombstone (the session migrated back to this stack)."""
+        rip, rport = remote if remote else (None, None)
+        self.migrated_tombstones.discard((local_port, rip, rport))
+
+    def _maybe_reap(self, session):
+        """Deregister sessions that reached CLOSED."""
+        if session.conn.state == TCPState.CLOSED:
+            self._deregister(session)
+            if session.owns_port:
+                session.owns_port = False
+                try:
+                    self.ports["tcp"].release(self.env.local_ip, session.local[1])
+                except KeyError:
+                    pass  # already released
+
+    # ==================================================================
+    # UDP socket operations
+    # ==================================================================
+
+    def udp_create(self, local_port=None, hiwat=UDPSession.DEFAULT_HIWAT):
+        if local_port is None:
+            local_port = self.ports["udp"].bind_ephemeral(self.env.local_ip)
+        else:
+            self.ports["udp"].bind(self.env.local_ip, local_port)
+        session = UDPSession(self, (self.env.local_ip, local_port), hiwat=hiwat)
+        self._udp[(local_port, None, None)] = session
+        return session
+
+    def udp_connect(self, session, remote):
+        """Pin the remote endpoint (BSD 'connected' UDP)."""
+        self._udp.pop((session.local[1], None, None), None)
+        session.remote = remote
+        self._udp[(session.local[1], remote[0], remote[1])] = session
+
+    def udp_send(self, session, data, dst=None):
+        """Send one datagram (blocking only on the device queue)."""
+        p = self.ctx.params
+        if dst is None:
+            dst = session.remote
+        if dst is None:
+            raise ValueError("unconnected UDP send needs a destination")
+        if self.udp_send_copies and not self.shared_buffers:
+            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.socket_layer)
+            yield from self.ctx.charge_copy(Layer.ENTRY_COPYIN, len(data))
+            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.mbuf_alloc)
+        else:
+            # The library references the caller's data in place: entry is
+            # a procedure call (Table 4: 6-7 us flat for library UDP).
+            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.proc_call)
+        self.mbuf_stats.allocated += 1
+        datagram = udp.encapsulate(
+            self.env.local_ip, dst[0], session.local[1], dst[1], data
+        )
+        yield from self.ctx.charge_checksum(Layer.TCP_UDP_OUTPUT, len(datagram))
+        yield from self.ctx.charge(
+            Layer.TCP_UDP_OUTPUT,
+            p.header_build + p.socket_layer + self.ctx.locks.lock_cost,
+        )
+        yield from self.ip_output(ip.PROTO_UDP, dst[0], datagram)
+
+    def udp_recv(self, session, timeout_us=None):
+        """Blocking receive of one datagram; returns (src_addr, payload).
+
+        A pending ICMP error on a connected session is raised (once), as
+        BSD reports ECONNREFUSED on the next operation.  ``timeout_us``
+        gives SO_RCVTIMEO semantics (:class:`SocketTimeout`).
+        """
+        deadline = None if timeout_us is None else self.ctx.sim.now + timeout_us
+        while not session.queue:
+            if session.error is not None:
+                error, session.error = session.error, None
+                raise error
+            yield from self._wait_or_timeout(session.notify, deadline)
+        src, payload = session.dequeue()
+        if self.shared_buffers:
+            yield from self.ctx.charge(Layer.COPYOUT_EXIT, self.ctx.params.proc_call)
+        else:
+            yield from self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(payload))
+        return src, payload
+
+    def udp_close(self, session):
+        key_any = (session.local[1], None, None)
+        if session.remote:
+            self._udp.pop(
+                (session.local[1], session.remote[0], session.remote[1]), None
+            )
+        self._udp.pop(key_any, None)
+        try:
+            self.ports["udp"].release(self.env.local_ip, session.local[1])
+        except KeyError:
+            pass
+
+    def adopt_udp_session(self, local, remote=None,
+                          hiwat=UDPSession.DEFAULT_HIWAT):
+        """Install a migrated (server-created) UDP session."""
+        session = UDPSession(self, local, hiwat=hiwat)
+        session.remote = remote
+        if remote:
+            self._udp[(local[1], remote[0], remote[1])] = session
+        else:
+            self._udp[(local[1], None, None)] = session
+        return session
+
+    def udp_poll(self, session):
+        return {"readable": bool(session.queue), "writable": True,
+                "error": False}
+
+    # ==================================================================
+    # IP output
+    # ==================================================================
+
+    def ip_output(self, proto, dst_ip, payload, ttl=None):
+        """Wrap ``payload`` in IP (+Ethernet) and transmit, fragmenting to
+        the MTU when necessary."""
+        p = self.ctx.params
+        self._ip_ident = (self._ip_ident + 1) & 0xFFFF
+        yield from self.ctx.charge(Layer.IP_OUTPUT, p.ip_output_overhead)
+        packet = ip.encapsulate(
+            self.env.local_ip, dst_ip, proto, payload, ident=self._ip_ident,
+            ttl=ttl if ttl is not None else ip.DEFAULT_TTL,
+        )
+        next_hop = self.env.route(dst_ip)
+        for frag in ip.fragment(packet, ethernet.MTU):
+            mac = yield from self.env.resolve(self.ctx, next_hop)
+            frame = ethernet.encapsulate(
+                mac, self.env.local_mac, ethernet.ETHERTYPE_IP, frag
+            )
+            yield from self.env.send_frame(self.ctx, frame)
+
+    def _tcp_drain(self, session):
+        """Transmit everything the TCP machine queued (charging the
+        tcp_output layer costs)."""
+        conn = session.conn
+        while conn.has_output():
+            for seg in conn.take_output():
+                p = self.ctx.params
+                yield from self.ctx.charge(
+                    Layer.TCP_UDP_OUTPUT,
+                    p.header_build + p.socket_layer + self.ctx.locks.lock_cost,
+                )
+                yield from self.ctx.charge_checksum(
+                    Layer.TCP_UDP_OUTPUT, len(seg.payload) + 20
+                )
+                packed = seg.pack(self.env.local_ip, conn.remote[0])
+                yield from self.ip_output(ip.PROTO_TCP, conn.remote[0], packed)
+        self._maybe_reap(session)
+
+    # ==================================================================
+    # Receive path
+    # ==================================================================
+
+    def input_frame(self, frame):
+        """Process one Ethernet frame handed up by the packet filter.
+
+        Charges the receive-path layers: mbuf packaging, IP input, TCP/UDP
+        input (including the checksum over the data), and user wakeup.
+        """
+        p = self.ctx.params
+        yield from self.ctx.charge(
+            Layer.MBUF_QUEUE, p.mbuf_alloc + self.ctx.locks.lock_cost
+        )
+        self.mbuf_stats.allocated += 1
+        try:
+            _eth, packet = ethernet.decapsulate(frame)
+        except ValueError:
+            return
+        yield from self.ctx.charge(Layer.IPINTR, p.ipintr_overhead)
+        try:
+            packet = self.reassembler.input(packet)
+        except ValueError:
+            return
+        if packet is None:
+            return  # fragment: incomplete
+        header, payload = ip.decapsulate(packet, verify=True)
+        if header.proto == ip.PROTO_TCP:
+            yield from self._tcp_input(header, payload)
+        elif header.proto == ip.PROTO_UDP:
+            yield from self._udp_input(header, payload, packet)
+        elif header.proto == ip.PROTO_ICMP:
+            yield from self._icmp_input(header, payload)
+
+    def _tcp_input(self, header, payload):
+        p = self.ctx.params
+        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        try:
+            seg = TCPSegment.unpack(header.src, header.dst, payload)
+        except ValueError:
+            return  # corrupt segment: drop silently, as TCP does
+        yield from self.ctx.charge(
+            Layer.TCP_UDP_INPUT,
+            p.header_build + self.ctx.locks.lock_cost + p.socket_layer,
+        )
+        if (seg.dst_port, header.src, seg.src_port) in self.migrated_tombstones:
+            return  # straggler for a migrated session: drop silently
+        session = self._tcp_demux(header.src, seg)
+        if session is None:
+            self.unmatched_tcp += 1
+            rst = rst_for(seg)
+            if rst is not None:
+                packed = rst.pack(self.env.local_ip, header.src)
+                yield from self.ip_output(ip.PROTO_TCP, header.src, packed)
+            return
+        conn = session.conn
+        was_listener = conn.state == TCPState.LISTEN
+        conn.segment_arrives(seg, src_ip=header.src)
+        if was_listener and conn.state == TCPState.SYN_RECEIVED:
+            self._register(session)
+        yield from self._wake(session.notify, session.selected)
+        yield from self._tcp_drain(session)
+        self._promote_child(session)
+        if conn.state == TCPState.CLOSED:
+            self._maybe_reap(session)
+
+    def _tcp_demux(self, src_ip, seg):
+        """Find the session for a segment: exact 4-tuple, then listener."""
+        exact = self._tcp.get((seg.dst_port, src_ip, seg.src_port))
+        if exact is not None:
+            return exact
+        listener = self._tcp.get((seg.dst_port, None, None))
+        if listener is None:
+            return None
+        # A listener never processes segments itself: each SYN gets a
+        # fresh child connection (BSD's sonewconn), bounded by the backlog.
+        if len(listener.children) + len(listener.accept_queue) >= listener.backlog:
+            return None  # backlog full: drop, the peer will retry
+        # Children inherit the listener's buffer sizes and options, as
+        # BSD-accepted sockets do.
+        lcfg = listener.conn.config
+        child_conn = TCPConnection(
+            (self.env.local_ip, seg.dst_port),
+            config=self.tcp_config(
+                snd_buf=listener.conn.snd_buffer.hiwat,
+                rcv_buf=listener.conn.rcv_buffer.hiwat,
+                nodelay=lcfg.nodelay,
+                delayed_ack=lcfg.delayed_ack,
+                mss=lcfg.mss,
+                window_scale=lcfg.window_scale,
+            ),
+        )
+        child_conn.open_passive()
+        child = TCPSession(self, child_conn, owns_port=False)
+        child.parent = listener
+        listener.children[(src_ip, seg.src_port)] = child
+        return child
+
+    def _promote_child(self, session):
+        """Move a completed child connection onto its listener's queue."""
+        listener = session.parent
+        if listener is None:
+            return
+        if session.conn.state in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT):
+            key = (session.remote[0], session.remote[1])
+            if key in listener.children:
+                del listener.children[key]
+                listener.accept_queue.append(session)
+                listener.notify.fire()
+        elif session.conn.state == TCPState.CLOSED:
+            key = (session.remote[0], session.remote[1]) if session.remote else None
+            listener.children.pop(key, None)
+
+    def _udp_input(self, header, payload, packet=None):
+        p = self.ctx.params
+        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        try:
+            uh, data = udp.decapsulate(header.src, header.dst, payload)
+        except ValueError:
+            return
+        yield from self.ctx.charge(
+            Layer.TCP_UDP_INPUT, p.header_build + self.ctx.locks.lock_cost
+        )
+        yield from self.ctx.charge(Layer.TCP_UDP_INPUT, p.socket_layer)
+        session = self._udp.get((uh.dst_port, header.src, uh.src_port))
+        if session is None:
+            session = self._udp.get((uh.dst_port, None, None))
+        if session is None:
+            self.unmatched_udp += 1
+            if packet is not None:
+                yield from self._send_port_unreachable(header, packet)
+            return
+        session.enqueue((header.src, uh.src_port), data)
+        yield from self._wake(session.notify, session.selected)
+
+    # ==================================================================
+    # ICMP (the "exceptional packets" of Section 3.1)
+    # ==================================================================
+
+    def _send_port_unreachable(self, header, original_packet):
+        message = icmp.ICMPMessage.port_unreachable(original_packet)
+        self.icmp_errors_sent += 1
+        yield from self.ctx.charge(
+            Layer.TCP_UDP_OUTPUT, self.ctx.params.header_build
+        )
+        yield from self.ip_output(ip.PROTO_ICMP, header.src, message.pack())
+
+    def _icmp_input(self, header, payload):
+        p = self.ctx.params
+        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        try:
+            message = icmp.ICMPMessage.unpack(payload)
+        except ValueError:
+            return
+        yield from self.ctx.charge(Layer.TCP_UDP_INPUT, p.header_build)
+        if message.type == icmp.TYPE_ECHO_REQUEST:
+            self.icmp_echoes_answered += 1
+            reply = message.echo_reply()
+            yield from self.ip_output(ip.PROTO_ICMP, header.src, reply.pack())
+        elif message.type == icmp.TYPE_ECHO_REPLY:
+            event = self._pings.pop((message.ident, message.seq), None)
+            if event is not None and not event.triggered:
+                event.succeed(("reply", header.src, self.ctx.sim.now))
+        elif message.is_error:
+            self._icmp_error(header, message)
+
+    def _icmp_error(self, outer_header, message):
+        """Deliver an ICMP error to the session that provoked it."""
+        quoted = message.quoted_packet()
+        try:
+            inner = ip.IPHeader.unpack(quoted, verify=False)
+        except ValueError:
+            return
+        if inner.proto == ip.PROTO_ICMP and len(quoted) >= inner.header_len + 8:
+            # An error about one of our echo probes: resolve the pending
+            # ping with who reported it (the traceroute mechanism).
+            ident = int.from_bytes(
+                quoted[inner.header_len + 4 : inner.header_len + 6], "big"
+            )
+            seq = int.from_bytes(
+                quoted[inner.header_len + 6 : inner.header_len + 8], "big"
+            )
+            event = self._pings.pop((ident, seq), None)
+            if event is not None and not event.triggered:
+                kind = ("exceeded"
+                        if message.type == icmp.TYPE_TIME_EXCEEDED
+                        else "unreachable")
+                event.succeed((kind, outer_header.src, self.ctx.sim.now))
+            return
+        if inner.proto != ip.PROTO_UDP or len(quoted) < inner.header_len + 4:
+            return  # TCP errors are left to its own retransmit machinery
+        sport = int.from_bytes(
+            quoted[inner.header_len : inner.header_len + 2], "big"
+        )
+        dport = int.from_bytes(
+            quoted[inner.header_len + 2 : inner.header_len + 4], "big"
+        )
+        error = PortUnreachable(
+            "udp port %d unreachable at %s" % (dport, inner.dst)
+        )
+        session = self._udp.get((sport, inner.dst, dport))
+        if session is not None:
+            session.error = error
+            session.notify.fire()
+        elif self.icmp_error_hook is not None:
+            self.icmp_error_hook(ip.PROTO_UDP, sport, (inner.dst, dport), error)
+
+    def icmp_probe(self, dst_ip, ttl=None, payload_size=56,
+                   timeout_us=5_000_000.0):
+        """Send one ICMP echo probe; returns (status, reporter_ip, rtt_us).
+
+        ``status`` is "reply" (the target answered), "exceeded" (a router
+        killed the TTL — the traceroute signal), "unreachable", or
+        "timeout".  ``reporter_ip`` identifies who answered.
+        """
+        from repro.sim.events import any_of
+
+        self._ping_ident = (self._ping_ident + 1) & 0xFFFF
+        key = (self._ping_ident, 1)
+        request = icmp.ICMPMessage.echo_request(
+            key[0], key[1], payload=b"\x00" * payload_size
+        )
+        event = self.ctx.sim.event("ping")
+        self._pings[key] = event
+        started = self.ctx.sim.now
+        try:
+            yield from self.ip_output(ip.PROTO_ICMP, dst_ip, request.pack(),
+                                      ttl=ttl)
+        except arp.ArpTimeout:
+            self._pings.pop(key, None)
+            return ("timeout", None, None)
+        timeout = self.ctx.sim.timeout(timeout_us)
+        winner, value = yield any_of(self.ctx.sim, [event, timeout])
+        if winner is event:
+            status, reporter, when = value
+            return (status, reporter, when - started)
+        self._pings.pop(key, None)
+        return ("timeout", None, None)
+
+    def ping(self, dst_ip, payload_size=56, timeout_us=5_000_000.0):
+        """Send an ICMP echo request; returns the RTT in microseconds, or
+        None on timeout.  (The simulated /sbin/ping.)"""
+        status, _reporter, rtt = yield from self.icmp_probe(
+            dst_ip, payload_size=payload_size, timeout_us=timeout_us
+        )
+        return rtt if status == "reply" else None
+
+    def traceroute(self, dst_ip, max_hops=16, timeout_us=3_000_000.0):
+        """Discover the path to ``dst_ip`` hop by hop.
+
+        Returns a list of (hop_number, reporter_ip_or_None, rtt_us_or_None)
+        ending at the target (or after ``max_hops``).
+        """
+        hops = []
+        for ttl in range(1, max_hops + 1):
+            status, reporter, rtt = yield from self.icmp_probe(
+                dst_ip, ttl=ttl, timeout_us=timeout_us
+            )
+            if status == "timeout":
+                hops.append((ttl, None, None))
+            else:
+                hops.append((ttl, reporter, rtt))
+                if status == "reply":
+                    break
+        return hops
+
+    def _wake(self, notifier, selected=False):
+        """Fire a notifier, charging the wakeup cost if anyone is waiting."""
+        if notifier.waiters:
+            yield from self.ctx.charge_wakeup(Layer.WAKEUP_USER)
+        notifier.fire()
+        if selected:
+            self.select_notify.fire()
+
+    # ==================================================================
+    # Timers
+    # ==================================================================
+
+    def _timer_loop(self):
+        """Drive TCP's 200 ms fast and 500 ms slow timers for every
+        session this stack owns."""
+        elapsed = 0.0
+        next_slow = SLOW_TICK_US
+        while not self._shutdown:
+            yield Timeout(FAST_TICK_US)
+            elapsed += FAST_TICK_US
+            slow = elapsed >= next_slow
+            if slow:
+                next_slow += SLOW_TICK_US
+            for session in list(self._tcp.values()):
+                conn = session.conn
+                if conn.state == TCPState.CLOSED:
+                    self._maybe_reap(session)
+                    continue
+                conn.tick_fast()
+                if slow:
+                    conn.tick_slow()
+                if conn.has_output():
+                    yield from self._tcp_drain(session)
+                    yield from self._wake(session.notify, session.selected)
+                elif slow and conn.state == TCPState.CLOSED:
+                    yield from self._wake(session.notify, session.selected)
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+
+    def tcp_session_count(self):
+        return len(self._tcp)
+
+    def udp_session_count(self):
+        return len(self._udp)

@@ -1,0 +1,18 @@
+"""World construction: hosts, networks, and named configurations."""
+
+from repro.world.host import ArpService, Host
+from repro.world.network import Network
+from repro.world.configs import (
+    CONFIG_NAMES,
+    build_network,
+    make_placement,
+)
+
+__all__ = [
+    "Host",
+    "ArpService",
+    "Network",
+    "build_network",
+    "make_placement",
+    "CONFIG_NAMES",
+]

@@ -1,0 +1,40 @@
+"""A network: one Ethernet segment plus the hosts attached to it."""
+
+from repro.hw.nic import LANCE
+from repro.hw.wire import EthernetWire
+from repro.sim.engine import Simulator
+from repro.world.host import Host
+
+
+class Network:
+    """An Ethernet segment with helper construction for hosts."""
+
+    def __init__(self, sim=None, name="ether0", loss_rate=0.0,
+                 corrupt_rate=0.0, rng=None, propagation_us=0.0):
+        self.sim = sim if sim is not None else Simulator()
+        self.wire = EthernetWire(
+            self.sim, name=name, loss_rate=loss_rate,
+            corrupt_rate=corrupt_rate, rng=rng,
+            propagation_us=propagation_us,
+        )
+        self.hosts = []
+
+    def add_host(self, ip_addr, platform, name=None, nic_model=LANCE,
+                 integrated_filter=False):
+        host = Host(
+            self.sim,
+            self.wire,
+            ip_addr,
+            platform,
+            name=name or ("host%d" % (len(self.hosts) + 1)),
+            nic_model=nic_model,
+            integrated_filter=integrated_filter,
+        )
+        self.hosts.append(host)
+        return host
+
+    def run(self, until=None):
+        self.sim.run(until=until)
+
+    def run_all(self, generators, until=None):
+        return self.sim.run_all(generators, until=until)

@@ -1,0 +1,67 @@
+"""Address conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import (
+    ip_aton,
+    ip_ntoa,
+    ip_pack,
+    ip_unpack,
+    mac_aton,
+    mac_ntoa,
+    make_mac,
+    netmask_from_prefix,
+)
+
+
+def test_aton_basic():
+    assert ip_aton("10.0.0.1") == 0x0A000001
+    assert ip_aton("255.255.255.255") == 0xFFFFFFFF
+    assert ip_aton(42) == 42
+
+
+@pytest.mark.parametrize("bad", ["10.0.0", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+def test_aton_malformed(bad):
+    with pytest.raises(ValueError):
+        ip_aton(bad)
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_aton_ntoa_roundtrip(value):
+    assert ip_aton(ip_ntoa(value)) == value
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_pack_unpack_roundtrip(value):
+    assert ip_unpack(ip_pack(value)) == value
+
+
+def test_mac_roundtrip():
+    mac = bytes.fromhex("0200deadbeef")
+    assert mac_aton(mac_ntoa(mac)) == mac
+
+
+def test_mac_validation():
+    with pytest.raises(ValueError):
+        mac_aton("aa:bb:cc")
+    with pytest.raises(ValueError):
+        mac_ntoa(b"\x00" * 5)
+
+
+def test_make_mac_deterministic_and_local():
+    assert make_mac(7) == make_mac(7)
+    assert make_mac(7) != make_mac(8)
+    assert make_mac(7)[0] & 0x02  # locally administered bit
+
+
+@pytest.mark.parametrize("prefix,expected", [
+    (0, 0), (8, 0xFF000000), (24, 0xFFFFFF00), (32, 0xFFFFFFFF),
+])
+def test_netmask(prefix, expected):
+    assert netmask_from_prefix(prefix) == expected
+
+
+def test_netmask_range():
+    with pytest.raises(ValueError):
+        netmask_from_prefix(33)

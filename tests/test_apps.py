@@ -1,0 +1,56 @@
+"""The measurement applications themselves."""
+
+import pytest
+
+from repro.apps.protolat import LatencyResult, protolat
+from repro.apps.ttcp import TtcpResult, ttcp
+from repro.world.configs import build_network
+
+
+def test_ttcp_moves_every_byte():
+    net, pa, pb = build_network("mach25")
+    result = ttcp(net, pb, pa, total_bytes=256 * 1024, rcvbuf_kb=24)
+    assert isinstance(result, TtcpResult)
+    assert result.bytes_moved == 256 * 1024
+    assert result.elapsed_us > 0
+    # 10 Mb/s ceiling: nothing can beat ~1250 KB/s.
+    assert 100 < result.throughput_kbs < 1250
+
+
+def test_ttcp_respects_wire_ceiling_various_sizes():
+    net, pa, pb = build_network("mach25")
+    result = ttcp(net, pb, pa, total_bytes=128 * 1024, write_size=1024,
+                  rcvbuf_kb=16)
+    assert result.bytes_moved == 128 * 1024
+    assert result.throughput_kbs < 1250
+
+
+def test_protolat_udp_statistics():
+    net, pa, pb = build_network("mach25")
+    result = protolat(net, pb, pa, proto="udp", message_size=64, rounds=20)
+    assert isinstance(result, LatencyResult)
+    assert result.rounds == 20
+    assert result.min_rtt_us <= result.mean_rtt_us <= result.max_rtt_us
+    assert result.mean_rtt_ms > 0.1  # the wire alone costs ~0.1 ms
+
+
+def test_protolat_tcp_echo_correctness():
+    net, pa, pb = build_network("library-shm-ipf")
+    result = protolat(net, pb, pa, proto="tcp", message_size=300, rounds=15)
+    assert result.rounds == 15
+
+
+def test_protolat_rejects_unknown_proto():
+    net, pa, pb = build_network("mach25")
+    with pytest.raises(ValueError):
+        protolat(net, pb, pa, proto="sctp")
+
+
+def test_latency_str_formats():
+    result = LatencyResult("udp", 1, 10, 1234.5, 1000.0, 1500.0)
+    assert "1.23 ms" in str(result)
+
+
+def test_ttcp_str_formats():
+    result = TtcpResult(1024 * 1024, 1_000_000.0, 1024.0, 900_000.0)
+    assert "1024 KB" in str(result)

@@ -1,0 +1,86 @@
+"""ARP packets and the cache."""
+
+import pytest
+
+from repro.net import arp
+from repro.net.addr import ip_aton, make_mac
+
+MAC1 = make_mac(1)
+MAC2 = make_mac(2)
+IP1 = ip_aton("10.0.0.1")
+IP2 = ip_aton("10.0.0.2")
+
+
+def test_request_reply_roundtrip():
+    request = arp.ArpPacket.request(MAC1, IP1, IP2)
+    parsed = arp.ArpPacket.unpack(request.pack())
+    assert parsed.op == arp.OP_REQUEST
+    assert parsed.sender_mac == MAC1
+    assert parsed.target_ip == IP2
+
+    reply = parsed.reply_from(MAC2)
+    assert reply.op == arp.OP_REPLY
+    assert reply.sender_mac == MAC2
+    assert reply.sender_ip == IP2
+    assert reply.target_mac == MAC1
+    assert reply.target_ip == IP1
+
+
+def test_unpack_rejects_short_and_foreign():
+    with pytest.raises(ValueError):
+        arp.ArpPacket.unpack(b"\x00" * 10)
+    packet = bytearray(arp.ArpPacket.request(MAC1, IP1, IP2).pack())
+    packet[0] = 9  # bogus hardware type
+    with pytest.raises(ValueError):
+        arp.ArpPacket.unpack(bytes(packet))
+
+
+def test_bad_op_rejected():
+    with pytest.raises(ValueError):
+        arp.ArpPacket(3, MAC1, IP1, MAC2, IP2)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_cache_hit_and_expiry():
+    clock = FakeClock()
+    cache = arp.ArpCache(clock, ttl_us=100.0)
+    cache.insert(IP1, MAC1)
+    assert cache.lookup(IP1) == MAC1
+    clock.now = 99.0
+    assert cache.lookup(IP1) == MAC1
+    clock.now = 100.0
+    assert cache.lookup(IP1) is None
+    assert cache.hits == 2
+    assert cache.misses == 1
+
+
+def test_cache_invalidate():
+    cache = arp.ArpCache(FakeClock())
+    cache.insert(IP1, MAC1)
+    cache.invalidate(IP1)
+    assert cache.lookup(IP1) is None
+    cache.invalidate(IP2)  # invalidating absent entries is fine
+
+
+def test_cache_entries_snapshot():
+    clock = FakeClock()
+    cache = arp.ArpCache(clock, ttl_us=50.0)
+    cache.insert(IP1, MAC1)
+    cache.insert(IP2, MAC2)
+    assert cache.entries() == {IP1: MAC1, IP2: MAC2}
+    clock.now = 60.0
+    assert cache.entries() == {}
+
+
+def test_cache_flush():
+    cache = arp.ArpCache(FakeClock())
+    cache.insert(IP1, MAC1)
+    cache.flush()
+    assert len(cache) == 0

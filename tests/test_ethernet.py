@@ -1,0 +1,44 @@
+"""Ethernet framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import ethernet
+from repro.net.addr import make_mac
+
+DST = make_mac(1)
+SRC = make_mac(2)
+
+
+def test_header_roundtrip():
+    header = ethernet.EthernetHeader(DST, SRC, ethernet.ETHERTYPE_IP)
+    parsed = ethernet.EthernetHeader.unpack(header.pack())
+    assert parsed.dst == DST
+    assert parsed.src == SRC
+    assert parsed.ethertype == ethernet.ETHERTYPE_IP
+
+
+def test_short_frame_rejected():
+    with pytest.raises(ValueError):
+        ethernet.EthernetHeader.unpack(b"\x00" * 10)
+
+
+def test_minimum_padding():
+    frame = ethernet.encapsulate(DST, SRC, ethernet.ETHERTYPE_IP, b"hi")
+    assert len(frame) == ethernet.HEADER_LEN + ethernet.MIN_PAYLOAD
+    _hdr, payload = ethernet.decapsulate(frame)
+    assert payload.startswith(b"hi")
+
+
+def test_mtu_enforced():
+    with pytest.raises(ValueError):
+        ethernet.encapsulate(DST, SRC, ethernet.ETHERTYPE_IP,
+                             b"x" * (ethernet.MTU + 1))
+
+
+@given(st.binary(min_size=ethernet.MIN_PAYLOAD, max_size=ethernet.MTU))
+def test_roundtrip(payload):
+    frame = ethernet.encapsulate(DST, SRC, ethernet.ETHERTYPE_ARP, payload)
+    header, out = ethernet.decapsulate(frame)
+    assert out == payload
+    assert header.ethertype == ethernet.ETHERTYPE_ARP

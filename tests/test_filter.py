@@ -1,0 +1,242 @@
+"""The packet-filter VM, validator, and session-filter compiler."""
+
+import pytest
+
+from repro.filter import (
+    FilterError,
+    FilterMachine,
+    Insn,
+    Op,
+    compile_arp_filter,
+    compile_ip_protocol_filter,
+    compile_session_filter,
+    validate,
+)
+from repro.net import ethernet, ip, udp
+from repro.net.addr import ip_aton, make_mac
+from repro.net.tcp.header import SYN, TCPSegment
+
+SRC_MAC, DST_MAC = make_mac(1), make_mac(2)
+A = ip_aton("10.0.0.1")
+B = ip_aton("10.0.0.2")
+
+
+def udp_frame(src=A, dst=B, sport=5000, dport=7777, payload=b"payload"):
+    dgram = udp.encapsulate(src, dst, sport, dport, payload)
+    packet = ip.encapsulate(src, dst, ip.PROTO_UDP, dgram, ident=1)
+    return ethernet.encapsulate(DST_MAC, SRC_MAC, ethernet.ETHERTYPE_IP, packet)
+
+
+def tcp_frame(src=A, dst=B, sport=5000, dport=7777):
+    seg = TCPSegment(sport, dport, seq=1, flags=SYN)
+    packet = ip.encapsulate(src, dst, ip.PROTO_TCP, seg.pack(src, dst), ident=2)
+    return ethernet.encapsulate(DST_MAC, SRC_MAC, ethernet.ETHERTYPE_IP, packet)
+
+
+# ----------------------------------------------------------------------
+# VM semantics
+# ----------------------------------------------------------------------
+
+def run(program, packet):
+    return FilterMachine().run(validate(program), packet)[0]
+
+
+def test_ret_literal():
+    assert run([Insn(Op.RET, k=7)], b"ab") == 7
+    assert run([Insn(Op.RET, k=0)], b"ab") == 0
+
+
+def test_loads_and_alu():
+    packet = bytes([0x12, 0x34, 0x56, 0x78, 0x9A])
+    program = [
+        Insn(Op.LD_W, k=0),
+        Insn(Op.AND, k=0x00FF0000),
+        Insn(Op.RSH, k=16),
+        Insn(Op.RET_A),
+    ]
+    assert run(program, packet) == 0x34
+
+
+def test_indexed_loads():
+    packet = bytes([0x02, 0, 0, 0xAB, 0xCD])
+    program = [
+        Insn(Op.LDX_IMM, k=3),
+        Insn(Op.LD_IND_H, k=0),
+        Insn(Op.RET_A),
+    ]
+    assert run(program, packet) == 0xABCD
+
+
+def test_ldx_msh_ip_header_idiom():
+    packet = bytes([0x46]) + b"\x00" * 40  # IHL=6 -> X = 24
+    program = [Insn(Op.LDX_MSH, k=0), Insn(Op.TXA), Insn(Op.RET_A)]
+    assert run(program, packet) == 24
+
+
+def test_jumps():
+    program = [
+        Insn(Op.LD_B, k=0),
+        Insn(Op.JEQ, k=5, jt=0, jf=1),
+        Insn(Op.RET, k=100),
+        Insn(Op.RET, k=0),
+    ]
+    assert run(program, bytes([5])) == 100
+    assert run(program, bytes([6])) == 0
+
+
+def test_jgt_jge_jset():
+    def one(op, k, value):
+        return run(
+            [Insn(Op.LD_B, k=0), Insn(op, k=k, jt=0, jf=1),
+             Insn(Op.RET, k=1), Insn(Op.RET, k=0)],
+            bytes([value]),
+        )
+
+    assert one(Op.JGT, 5, 6) == 1
+    assert one(Op.JGT, 5, 5) == 0
+    assert one(Op.JGE, 5, 5) == 1
+    assert one(Op.JSET, 0x80, 0x81) == 1
+    assert one(Op.JSET, 0x80, 0x01) == 0
+
+
+def test_short_packet_load_rejects():
+    program = [Insn(Op.LD_W, k=100), Insn(Op.RET, k=1)]
+    accepted, _count = FilterMachine().run(validate(program), b"tiny")
+    assert accepted == 0
+
+
+def test_insn_count_reported():
+    program = [Insn(Op.LD_B, k=0), Insn(Op.RET_A)]
+    machine = FilterMachine()
+    _accepted, count = machine.run(validate(program), b"\x01")
+    assert count == 2
+    assert machine.insns_executed == 2
+    assert machine.packets_examined == 1
+
+
+# ----------------------------------------------------------------------
+# Validator
+# ----------------------------------------------------------------------
+
+def test_validate_rejects_empty():
+    with pytest.raises(FilterError):
+        validate([])
+
+
+def test_validate_rejects_missing_ret():
+    with pytest.raises(FilterError):
+        validate([Insn(Op.LD_B, k=0)])
+
+
+def test_validate_rejects_out_of_range_jump():
+    with pytest.raises(FilterError):
+        validate([Insn(Op.JEQ, k=1, jt=5, jf=0), Insn(Op.RET, k=0)])
+
+
+def test_validate_rejects_backward_jump():
+    with pytest.raises(FilterError):
+        validate([Insn(Op.JEQ, k=1, jt=-1, jf=0), Insn(Op.RET, k=0)])
+
+
+def test_validate_rejects_overlong():
+    program = [Insn(Op.LD_B, k=0)] * 600 + [Insn(Op.RET, k=0)]
+    with pytest.raises(FilterError):
+        validate(program)
+
+
+def test_validate_rejects_non_insn():
+    with pytest.raises(FilterError):
+        validate(["bogus", Insn(Op.RET, k=0)])
+
+
+# ----------------------------------------------------------------------
+# Session filter compilation
+# ----------------------------------------------------------------------
+
+def test_session_filter_matches_exactly():
+    machine = FilterMachine()
+    program = compile_session_filter(ip.PROTO_UDP, B, 7777)
+    assert machine.matches(program, udp_frame())
+    assert not machine.matches(program, udp_frame(dport=7778))
+    assert not machine.matches(program, udp_frame(dst=A))
+    assert not machine.matches(program, tcp_frame())  # wrong protocol
+
+
+def test_connected_session_filter_pins_remote():
+    machine = FilterMachine()
+    program = compile_session_filter(
+        ip.PROTO_UDP, B, 7777, remote_ip=A, remote_port=5000
+    )
+    assert machine.matches(program, udp_frame())
+    assert not machine.matches(program, udp_frame(sport=5001))
+    assert not machine.matches(program, udp_frame(src=B))
+
+
+def test_session_filter_rejects_non_first_fragment():
+    machine = FilterMachine()
+    program = compile_session_filter(ip.PROTO_UDP, B, 7777)
+    dgram = udp.encapsulate(A, B, 5000, 7777, b"x" * 3000)
+    packet = ip.encapsulate(A, B, ip.PROTO_UDP, dgram, ident=9)
+    frags = ip.fragment(packet, 1500)
+    frames = [
+        ethernet.encapsulate(DST_MAC, SRC_MAC, ethernet.ETHERTYPE_IP, f)
+        for f in frags
+    ]
+    assert machine.matches(program, frames[0])
+    assert not any(machine.matches(program, f) for f in frames[1:])
+
+
+def test_session_filter_handles_ip_options():
+    """Filters must find the ports past a longer-than-20-byte IP header."""
+    machine = FilterMachine()
+    program = compile_session_filter(ip.PROTO_UDP, B, 7777)
+    dgram = udp.encapsulate(A, B, 5000, 7777, b"opt")
+    # Hand-build an IP header with 4 bytes of options (IHL=6).
+    import struct
+
+    from repro.net.checksum import internet_checksum
+
+    total = 24 + len(dgram)
+    header = struct.pack("!BBHHHBBHII", (4 << 4) | 6, 0, total, 1, 0, 64,
+                         ip.PROTO_UDP, 0, A, B) + b"\x01\x01\x01\x00"
+    checksum = internet_checksum(header)
+    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    frame = ethernet.encapsulate(
+        DST_MAC, SRC_MAC, ethernet.ETHERTYPE_IP, header + dgram
+    )
+    assert machine.matches(program, frame)
+
+
+def test_arp_filter():
+    from repro.net import arp
+
+    machine = FilterMachine()
+    program = compile_arp_filter()
+    request = arp.ArpPacket.request(SRC_MAC, A, B).pack()
+    frame = ethernet.encapsulate(b"\xff" * 6, SRC_MAC,
+                                 ethernet.ETHERTYPE_ARP, request)
+    assert machine.matches(program, frame)
+    assert not machine.matches(program, udp_frame())
+
+
+def test_ip_protocol_filter():
+    machine = FilterMachine()
+    program = compile_ip_protocol_filter(ip.PROTO_TCP)
+    assert machine.matches(program, tcp_frame())
+    assert not machine.matches(program, udp_frame())
+
+
+def test_security_isolation_between_sessions():
+    """The paper's security property: a session's filter never accepts
+    another session's packets, for any field that differs."""
+    machine = FilterMachine()
+    mine = compile_session_filter(ip.PROTO_UDP, B, 7000,
+                                  remote_ip=A, remote_port=6000)
+    for frame in (
+        udp_frame(dport=7001, sport=6000),
+        udp_frame(dport=7000, sport=6001),
+        udp_frame(src=B, dst=B, dport=7000, sport=6000),
+        tcp_frame(dport=7000, sport=6000),
+    ):
+        assert not machine.matches(mine, frame)
+    assert machine.matches(mine, udp_frame(dport=7000, sport=6000))

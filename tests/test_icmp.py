@@ -1,0 +1,159 @@
+"""ICMP: wire format, echo service, and error delivery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import icmp
+from repro.net.addr import ip_aton
+from repro.core.sockets import SOCK_DGRAM
+from repro.stack.engine import PortUnreachable
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+IP2 = ip_aton("10.0.0.2")
+BOUND = 120_000_000
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+def test_echo_roundtrip():
+    request = icmp.ICMPMessage.echo_request(77, 3, payload=b"probe")
+    parsed = icmp.ICMPMessage.unpack(request.pack())
+    assert parsed.type == icmp.TYPE_ECHO_REQUEST
+    assert parsed.ident == 77
+    assert parsed.seq == 3
+    assert parsed.payload == b"probe"
+    reply = parsed.echo_reply()
+    parsed_reply = icmp.ICMPMessage.unpack(reply.pack())
+    assert parsed_reply.type == icmp.TYPE_ECHO_REPLY
+    assert parsed_reply.ident == 77
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+       st.binary(max_size=512))
+def test_echo_roundtrip_property(ident, seq, payload):
+    message = icmp.ICMPMessage.echo_request(ident, seq, payload)
+    parsed = icmp.ICMPMessage.unpack(message.pack())
+    assert (parsed.ident, parsed.seq, parsed.payload) == (ident, seq, payload)
+
+
+def test_checksum_detects_corruption():
+    packed = bytearray(icmp.ICMPMessage.echo_request(1, 1, b"x").pack())
+    packed[-1] ^= 0x55
+    with pytest.raises(ValueError):
+        icmp.ICMPMessage.unpack(bytes(packed))
+
+
+def test_port_unreachable_quotes_original():
+    from repro.net import ip as ipmod
+    from repro.net import udp as udpmod
+
+    dgram = udpmod.encapsulate(IP1, IP2, 5000, 9, b"payload")
+    packet = ipmod.encapsulate(IP1, IP2, ipmod.PROTO_UDP, dgram)
+    err = icmp.ICMPMessage.port_unreachable(packet)
+    parsed = icmp.ICMPMessage.unpack(err.pack())
+    assert parsed.type == icmp.TYPE_DEST_UNREACHABLE
+    assert parsed.code == icmp.CODE_PORT_UNREACHABLE
+    quoted = parsed.quoted_packet()
+    inner = ipmod.IPHeader.unpack(quoted, verify=False)
+    assert inner.src == IP1 and inner.dst == IP2
+    assert len(quoted) == 28  # header + 8 bytes, per RFC 792
+
+
+def test_reply_of_non_request_rejected():
+    reply = icmp.ICMPMessage(icmp.TYPE_ECHO_REPLY, ident=1, seq=1)
+    with pytest.raises(ValueError):
+        reply.echo_reply()
+
+
+# ----------------------------------------------------------------------
+# Live behaviour, per placement
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("config", ["mach25", "ux", "library-shm-ipf"])
+def test_ping_round_trip(config):
+    net, pa, pb = build_network(config)
+    api = pb.new_app()
+
+    def prog():
+        rtt = yield from api.ping(IP1)
+        return rtt
+
+    rtt = net.run_all([prog()], until=BOUND)[0]
+    assert rtt is not None
+    # Two minimum frames on the wire plus processing: 0.1 ms < rtt < 5 ms.
+    assert 100 < rtt < 5_000
+    assert pa.server.stack.icmp_echoes_answered == 1 if config != "mach25" \
+        else True
+
+
+def test_ping_timeout_when_host_absent():
+    net, pa, pb = build_network("mach25")
+    api = pb.new_app()
+
+    def prog():
+        rtt = yield from api.ping(ip_aton("10.0.0.99"), timeout_us=500_000)
+        return rtt
+
+    # 10.0.0.99 does not exist: ARP fails, then the ping times out.
+    result = net.run_all([prog()], until=BOUND)
+    assert result[0] is None
+
+
+@pytest.mark.parametrize("config", ["mach25", "library-shm-ipf"])
+def test_connected_udp_gets_port_unreachable(config):
+    """A datagram to a dead port draws ICMP port unreachable, surfaced as
+    an error on the connected socket (BSD's ECONNREFUSED)."""
+    net, pa, pb = build_network(config)
+    api = pb.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.connect(fd, (IP1, 9999))  # nobody listens there
+        yield from api.send(fd, b"anyone home?")
+        try:
+            yield from api.recv(fd, 100)
+        except PortUnreachable:
+            return "refused"
+        return "no error"
+
+    assert net.run_all([prog()], until=BOUND)[0] == "refused"
+
+
+def test_unconnected_udp_does_not_see_errors():
+    """Errors are only delivered to *connected* sockets (BSD semantics:
+    an unconnected socket cannot associate the error with a peer)."""
+    net, pa, pb = build_network("mach25")
+    api = pb.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(fd, 9800)
+        yield from api.sendto(fd, b"void", (IP1, 9999))
+        r, _w = yield from api.select([fd], timeout=3_000_000)
+        return r
+
+    readable = net.run_all([prog()], until=BOUND)[0]
+    assert readable == []  # no datagram, and no error surfaced
+
+
+def test_library_icmp_error_upcall():
+    """In the decomposed architecture the ICMP error arrives at the OS
+    server, which upcalls it into the owning application session."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api = pb.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.connect(fd, (IP1, 9998))
+        yield from api.send(fd, b"probe")
+        try:
+            yield from api.recv(fd, 100)
+        except PortUnreachable:
+            return "refused"
+
+    assert net.run_all([prog()], until=BOUND)[0] == "refused"
+    assert pb.server.icmp_upcalls == 1
+    assert pa.server.stack.icmp_errors_sent == 1

@@ -1,0 +1,138 @@
+"""IPv4: headers, fragmentation, reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import ip
+from repro.net.addr import ip_aton
+
+SRC = ip_aton("10.0.0.1")
+DST = ip_aton("10.0.0.2")
+
+
+def test_header_roundtrip():
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"payload", ident=77)
+    header, payload = ip.decapsulate(packet)
+    assert header.src == SRC
+    assert header.dst == DST
+    assert header.proto == ip.PROTO_UDP
+    assert header.ident == 77
+    assert payload == b"payload"
+
+
+def test_header_checksum_corruption_detected():
+    packet = bytearray(ip.encapsulate(SRC, DST, ip.PROTO_TCP, b"x"))
+    packet[8] ^= 0xFF  # mangle the TTL
+    with pytest.raises(ValueError, match="checksum"):
+        ip.decapsulate(bytes(packet))
+
+
+def test_total_len_truncates_padding():
+    # Ethernet pads short frames; decapsulate must honour total_len.
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"abc")
+    padded = packet + b"\x00" * 20
+    _header, payload = ip.decapsulate(padded)
+    assert payload == b"abc"
+
+
+def test_short_packet_rejected():
+    with pytest.raises(ValueError):
+        ip.IPHeader.unpack(b"\x45\x00")
+
+
+def test_non_v4_rejected():
+    packet = bytearray(ip.encapsulate(SRC, DST, ip.PROTO_UDP, b""))
+    packet[0] = (6 << 4) | 5
+    with pytest.raises(ValueError, match="IPv4"):
+        ip.IPHeader.unpack(bytes(packet), verify=False)
+
+
+def test_no_fragmentation_needed():
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"tiny")
+    assert ip.fragment(packet, 1500) == [packet]
+
+
+def test_df_blocks_fragmentation():
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"z" * 2000,
+                            flags=ip.FLAG_DF)
+    with pytest.raises(ValueError, match="DF"):
+        ip.fragment(packet, 1500)
+
+
+def test_fragment_offsets_multiple_of_8():
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"z" * 4000, ident=5)
+    for frag in ip.fragment(packet, 1500):
+        header = ip.IPHeader.unpack(frag)
+        assert header.frag_off % 8 == 0
+        assert len(frag) <= 1500
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payload=st.binary(min_size=1, max_size=6000),
+    mtu=st.integers(min_value=68, max_value=1500),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_fragment_reassemble_roundtrip(payload, mtu, order_seed):
+    """Property: any fragmentation, delivered in any order, reassembles."""
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, payload, ident=99)
+    fragments = ip.fragment(packet, mtu)
+    order_seed.shuffle(fragments)
+    reasm = ip.Reassembler(FakeClock())
+    outputs = [reasm.input(frag) for frag in fragments]
+    complete = [o for o in outputs if o is not None]
+    assert len(complete) == 1
+    _header, out = ip.decapsulate(complete[0], verify=False)
+    assert out == payload
+    assert reasm.pending() == 0
+
+
+def test_reassembly_hole_waits():
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"A" * 3000, ident=3)
+    first, second, third = ip.fragment(packet, 1200)
+    reasm = ip.Reassembler(FakeClock())
+    assert reasm.input(first) is None
+    assert reasm.input(third) is None
+    assert reasm.input(second) is not None
+
+
+def test_reassembly_timeout_discards():
+    clock = FakeClock()
+    reasm = ip.Reassembler(clock, timeout_us=1000.0)
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"B" * 3000, ident=4)
+    frags = ip.fragment(packet, 1200)
+    assert reasm.input(frags[0]) is None
+    clock.now = 2000.0
+    # A fresh fragment triggers expiry of the stale partial datagram.
+    other = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"C" * 3000, ident=5)
+    reasm.input(ip.fragment(other, 1200)[0])
+    assert reasm.timed_out == 1
+
+
+def test_distinct_idents_do_not_mix():
+    reasm = ip.Reassembler(FakeClock())
+    p1 = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"1" * 2500, ident=10)
+    p2 = ip.encapsulate(SRC, DST, ip.PROTO_UDP, b"2" * 2500, ident=11)
+    f1 = ip.fragment(p1, 1200)
+    f2 = ip.fragment(p2, 1200)
+    assert reasm.input(f1[0]) is None
+    assert reasm.input(f2[0]) is None
+    assert reasm.input(f2[1]) is None
+    done2 = reasm.input(f2[2])
+    assert done2 is not None
+    assert ip.decapsulate(done2, verify=False)[1] == b"2" * 2500
+    assert reasm.pending() == 1
+
+
+def test_unfragmented_passthrough():
+    reasm = ip.Reassembler(FakeClock())
+    packet = ip.encapsulate(SRC, DST, ip.PROTO_TCP, b"through")
+    assert reasm.input(packet) == packet

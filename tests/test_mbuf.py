@@ -1,0 +1,139 @@
+"""BSD mbuf chains, including property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.mbuf import MCLBYTES, MINCLSIZE, MLEN, Mbuf, MbufStats
+
+payloads = st.binary(min_size=0, max_size=5000)
+
+
+def test_empty_payload_single_mbuf():
+    m = Mbuf.from_bytes(b"")
+    assert m.chain_len() == 0
+    assert m.chain_count() == 1
+    assert m.to_bytes() == b""
+
+
+def test_small_payload_uses_small_mbufs():
+    m = Mbuf.from_bytes(b"x" * 50)
+    assert not m.is_cluster
+    assert m.to_bytes() == b"x" * 50
+
+
+def test_large_payload_uses_clusters():
+    stats = MbufStats()
+    m = Mbuf.from_bytes(b"y" * 3000, stats=stats)
+    assert m.is_cluster
+    assert stats.cluster_allocs >= 1
+    assert m.to_bytes() == b"y" * 3000
+
+
+@given(payloads)
+def test_roundtrip(data):
+    assert Mbuf.from_bytes(data).to_bytes() == data
+
+
+@given(payloads)
+def test_chain_len_matches(data):
+    assert Mbuf.from_bytes(data).chain_len() == len(data)
+
+
+def test_prepend_uses_leading_space():
+    m = Mbuf.from_bytes(b"payload", header_space=16)
+    before = m.chain_count()
+    m2 = m.prepend(b"HDR")
+    assert m2 is m  # in place
+    assert m2.chain_count() == before
+    assert m2.to_bytes() == b"HDRpayload"
+
+
+def test_prepend_allocates_when_no_space():
+    stats = MbufStats()
+    m = Mbuf.from_bytes(b"data", header_space=2)
+    m2 = m.prepend(b"LONGHEADER", stats=stats)
+    assert m2 is not m
+    assert m2.to_bytes() == b"LONGHEADERdata"
+    assert stats.allocated == 1
+
+
+@given(payloads, st.integers(min_value=0, max_value=5000))
+def test_adj_front(data, count):
+    m = Mbuf.from_bytes(data)
+    if count > len(data):
+        with pytest.raises(ValueError):
+            m.adj(count)
+    else:
+        m.adj(count)
+        assert m.to_bytes() == data[count:]
+
+
+@given(payloads, st.integers(min_value=0, max_value=5000))
+def test_adj_back(data, count):
+    m = Mbuf.from_bytes(data)
+    if count > len(data):
+        with pytest.raises(ValueError):
+            m.adj(-count)
+    else:
+        m.adj(-count)
+        assert m.to_bytes() == data[: len(data) - count]
+
+
+@given(payloads, st.integers(min_value=0, max_value=5000))
+def test_split(data, point):
+    m = Mbuf.from_bytes(data)
+    if point > len(data):
+        with pytest.raises(ValueError):
+            m.split(point)
+    else:
+        tail = m.split(point)
+        assert m.to_bytes() == data[:point]
+        assert tail.to_bytes() == data[point:]
+
+
+@given(payloads, st.integers(min_value=0, max_value=200))
+def test_pullup(data, count):
+    m = Mbuf.from_bytes(data)
+    if count > len(data):
+        with pytest.raises(ValueError):
+            m.pullup(count)
+    else:
+        m.pullup(count)
+        assert m.len >= count
+        assert m.to_bytes() == data
+
+
+@given(payloads, payloads)
+def test_cat(left, right):
+    a = Mbuf.from_bytes(left)
+    b = Mbuf.from_bytes(right)
+    a.cat(b)
+    assert a.to_bytes() == left + right
+
+
+@given(payloads, st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=100))
+def test_copy_window(data, off, length):
+    m = Mbuf.from_bytes(data)
+    if off + length > len(data):
+        with pytest.raises(ValueError):
+            m.copy(off, length)
+    else:
+        c = m.copy(off, length)
+        assert c.to_bytes() == data[off : off + length]
+        assert m.to_bytes() == data  # source untouched
+
+
+def test_stats_track_alloc_and_free():
+    stats = MbufStats()
+    m = Mbuf.from_bytes(b"z" * (MCLBYTES + MLEN), stats=stats)
+    assert stats.live == stats.allocated
+    m.free_chain(stats)
+    assert stats.live == 0
+
+
+def test_mincl_size_boundary():
+    small = Mbuf.from_bytes(b"a" * (MINCLSIZE - 1))
+    big = Mbuf.from_bytes(b"a" * MINCLSIZE)
+    assert not small.is_cluster
+    assert big.is_cluster

@@ -1,0 +1,319 @@
+"""Session migration between the application and the OS server.
+
+These are the paper's Section 3.2 mechanisms, tested on the library
+placement specifically: sessions migrate out on connect/accept/bind,
+back on fork and close; in-flight data survives; stragglers never draw
+RSTs; dying applications get cleaned up.
+"""
+
+import pytest
+
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.net.tcp.state import TCPState
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+IP2 = ip_aton("10.0.0.2")
+BOUND = 200_000_000
+
+
+@pytest.fixture
+def world():
+    return build_network("library-shm-ipf")
+
+
+def test_connect_migrates_session_into_app(world):
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7100)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        return cfd
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7100))
+        return fd
+
+    net.run_all([server(), client()], until=BOUND)
+    # The client's session now lives in its own library stack...
+    assert api_b.library.stack.tcp_session_count() == 1
+    # ...and the accepting side's accepted child lives in its library.
+    assert api_a.library.stack.tcp_session_count() == 1
+    # The server kept only the listener.
+    assert pa.server.stack.tcp_session_count() == 1  # the LISTEN socket
+    assert pb.server.stack.tcp_session_count() == 0
+    assert pb.server.migrations_out == 1
+    assert pa.server.migrations_out == 1
+
+
+def test_data_transfer_bypasses_server(world):
+    """Figure 1's claim: send/receive never involve the OS server."""
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7101)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 10000)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7101))
+        rpcs_before = api_b.ctx.crossings.server_rpcs
+        yield from api_b.send_all(fd, b"z" * 10000)
+        return api_b.ctx.crossings.server_rpcs - rpcs_before
+
+    data, rpc_delta = net.run_all([server(), client()], until=BOUND)
+    assert len(data) == 10000
+    assert rpc_delta == 0  # not one server RPC on the data path
+
+
+def test_data_arriving_before_accept_migrates_with_session(world):
+    """The server completes the handshake and may buffer data before the
+    application accepts; that data must arrive with the migrated state."""
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+    sent = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7102)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        yield sent  # deliberately accept late
+        yield net.sim.timeout(5_000_000)
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 12)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7102))
+        yield from api_b.send_all(fd, b"early birds!")
+        sent.succeed()
+
+    data, _ = net.run_all([server(), client()], until=BOUND)
+    assert data == b"early birds!"
+
+
+def test_close_hands_teardown_to_server(world):
+    """Clean shutdown migrates the session back; the server drives the
+    FIN handshake and eventually releases the port."""
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7103)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv(cfd, 100)
+        eof = yield from api_a.recv(cfd, 100)
+        yield from api_a.close(cfd)
+        yield from api_a.close(fd)
+        return data, eof
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7103))
+        yield from api_b.send_all(fd, b"bye")
+        yield from api_b.close(fd)
+        return "closed"
+
+    (data, eof), _ = net.run_all([server(), client()], until=BOUND)
+    assert data == b"bye"
+    assert eof == b""
+    # The client app no longer owns the session; the server does (and is
+    # running it through the shutdown states).
+    assert api_b.library.stack.tcp_session_count() == 0
+    assert pb.server.migrations_in >= 1
+    # Let the 2MSL machinery finish; everything ends CLOSED.
+    net.sim.run(until=net.sim.now + 130_000_000)
+    for sess in list(pb.server.stack._tcp.values()):
+        assert sess.conn.state == TCPState.CLOSED
+
+
+def test_udp_bind_migrates_immediately(world):
+    net, pa, _pb = world
+    api = pa.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(fd, 9400)
+        return fd
+
+    net.run_all([prog()], until=BOUND)
+    assert api.library.stack.udp_session_count() == 1
+    assert pa.server.migrations_out == 1
+
+
+def test_fork_returns_sessions_then_routes_via_server(world):
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7104)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        one = yield from api_a.recv_exactly(cfd, 4)
+        two = yield from api_a.recv_exactly(cfd, 4)
+        three = yield from api_a.recv_exactly(cfd, 4)
+        return one, two, three
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7104))
+        yield from api_b.send_all(fd, b"pre.")
+        child = yield from api_b.fork()
+        # After fork both descriptors are server-routed; both may write.
+        yield from api_b.send_all(fd, b"par.")
+        yield from child.send_all(fd, b"chi.")
+        rpcs = api_b.ctx.crossings.server_rpcs
+        return rpcs
+
+    (one, two, three), rpcs = net.run_all([server(), client()], until=BOUND)
+    assert (one, two, three) == (b"pre.", b"par.", b"chi.")
+    assert pb.server.migrations_in == 1
+    assert rpcs > 0  # post-fork data moves by RPC
+
+
+def test_migration_stragglers_do_not_reset(world):
+    """Segments racing the accept-time migration must not draw RSTs."""
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7105)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 30000)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7105))
+        # Blast data immediately: some segments arrive while the accept
+        # migration is in progress on the peer.
+        yield from api_b.send_all(fd, b"s" * 30000)
+        return "ok"
+
+    data, _ = net.run_all([server(), client()], until=BOUND)
+    assert data == b"s" * 30000
+    # No RST was provoked on either host's server stack.
+    assert pa.server.stack.unmatched_tcp == 0
+    assert pb.server.stack.unmatched_tcp == 0
+
+
+def test_app_death_aborts_sessions_and_quarantines_ports(world):
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+    established = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7106)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        established.succeed()
+        try:
+            while True:
+                data = yield from api_a.recv(cfd, 1000)
+                if not data:
+                    return "eof"
+        except Exception as exc:  # the abort RST lands here
+            return type(exc).__name__
+
+    def client_then_die():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7106))
+        yield established
+        # The process dies without closing: the OS server cleans up.
+        yield from pb.server.app_terminated(api_b.library.app_id)
+        return "dead"
+
+    net.run_all([server(), client_then_die()], until=BOUND)
+    assert pb.server.aborted_for_death == 1
+    assert len(pb.server.quarantined_ports) == 1
+    # The quarantined port cannot be rebound immediately.
+    port = next(iter(pb.server.quarantined_ports))
+    with pytest.raises(Exception):
+        pb.server._alloc_port("tcp", port)
+
+
+def test_metastate_cache_and_invalidation(world):
+    net, pa, pb = world
+    api_b = pb.new_app()
+    api_a = pa.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_DGRAM)
+        yield from api_a.bind(fd, 9500)
+        ready.succeed()
+        for _ in range(3):
+            data, src = yield from api_a.recvfrom(fd)
+            yield from api_a.sendto(fd, data, src)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.connect(fd, (IP1, 9500))
+        for _ in range(3):
+            yield from api_b.send(fd, b"m")
+            yield from api_b.recv(fd, 10)
+        return api_b.library.metastate.stats()
+
+    _s, stats = net.run_all([server(), client()], until=BOUND)
+    # One ARP RPC on first use; later sends hit the application cache.
+    assert stats["arp_rpcs"] == 1
+    assert stats["arp_hits"] >= 2
+    # Server-driven invalidation empties the cached entry.
+    meta = api_b.library.metastate
+    pb.host.arp.invalidate(IP1)
+    assert meta.arp_cache.lookup(IP1) is None
+    assert meta.invalidations >= 1
+
+
+def test_proxy_table1_mapping_is_exported():
+    from repro.core.proxy import PROXY_CALL_MAP
+
+    assert PROXY_CALL_MAP["socket"] == "proxy_socket"
+    assert PROXY_CALL_MAP["fork"] == "proxy_return"
+    assert PROXY_CALL_MAP["send/recv (all variants)"] is None

@@ -1,0 +1,204 @@
+"""Proxy corner cases: reconnects, mixed select, NEWAPI placements."""
+
+import pytest
+
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM, SocketError
+from repro.net.addr import ip_aton
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+IP2 = ip_aton("10.0.0.2")
+BOUND = 300_000_000
+
+
+def test_udp_reconnect_narrows_then_renarrows():
+    """connect() on an already-bound UDP socket re-migrates with a
+    narrower filter; a second connect() repeats the dance."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a1 = pa.new_app()
+    api_a2 = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def peer(api, port):
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(fd, port)
+        data, src = yield from api.recvfrom(fd)
+        yield from api.sendto(fd, data + b"/%d" % port, src)
+
+    def client():
+        fd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.bind(fd, 9870)
+        yield from api_b.connect(fd, (IP1, 9871))
+        yield from api_b.send(fd, b"one")
+        first = yield from api_b.recv(fd, 100)
+        yield from api_b.connect(fd, (IP1, 9872))
+        yield from api_b.send(fd, b"two")
+        second = yield from api_b.recv(fd, 100)
+        return first, second
+
+    results = net.run_all(
+        [peer(api_a1, 9871), peer(api_a2, 9872), client()], until=BOUND
+    )
+    assert results[2] == (b"one/9871", b"two/9872")
+
+
+def test_sendto_on_connected_udp_to_third_party():
+    """A connected library UDP socket's filter pins the remote; per BSD
+    the socket can still *send* anywhere (our proxy primes the route)."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def listener():
+        fd = yield from api_a.socket(SOCK_DGRAM)
+        yield from api_a.bind(fd, 9880)
+        ready.succeed()
+        data, src = yield from api_a.recvfrom(fd)
+        return data, src
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.connect(fd, (IP1, 9881))  # someone else
+        yield from api_b.sendto(fd, b"side-channel", (IP1, 9880))
+
+    (data, src), _c = net.run_all([listener(), client()], until=BOUND)
+    assert data == b"side-channel"
+    assert src[0] == IP2
+
+
+def test_select_returns_server_side_readiness():
+    """A select over a server-managed descriptor (post-fork) wakes when
+    data arrives at the *server*."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7950)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        yield net.sim.timeout(5_000_000)
+        yield from api_a.send_all(cfd, b"late data")
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7950))
+        yield from api_b.fork()  # fd becomes server-managed
+        r, _w = yield from api_b.select([fd], timeout=60_000_000)
+        assert r == [fd]
+        data = yield from api_b.recv(fd, 100)
+        return data
+
+    _s, data = net.run_all([server(), client()], until=BOUND)
+    assert data == b"late data"
+
+
+def test_select_mixed_local_wins_via_proxy_status():
+    """select over one server-managed and one app-managed descriptor,
+    where the *local* one becomes ready while blocked in the server —
+    the proxy_status upcall must unblock it (Section 3.2)."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7951)
+        yield from api_a.listen(fd)
+        ufd = yield from api_a.socket(SOCK_DGRAM)
+        yield from api_a.bind(ufd, 9890)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        yield from api_a.fork()  # cfd now server-managed
+        r, _w = yield from api_a.select([cfd, ufd], timeout=60_000_000)
+        assert r, "select timed out"
+        if r[0] == ufd:
+            data, _src = yield from api_a.recvfrom(ufd)
+        else:
+            data = yield from api_a.recv(cfd, 100)
+        return r[0] == ufd, data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7951))
+        yield net.sim.timeout(3_000_000)
+        ufd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.sendto(ufd, b"local datagram", (IP1, 9890))
+        return "sent"
+
+    (hit_local, data), _c = net.run_all([server(), client()], until=BOUND)
+    assert hit_local
+    assert data == b"local datagram"
+    assert pa.server.rpc.calls > 0
+
+
+@pytest.mark.parametrize("config", ["library-newapi-ipc",
+                                    "library-newapi-shm",
+                                    "library-newapi-shm-ipf"])
+def test_newapi_placements_full_exchange(config):
+    """Every NEWAPI variant carries a correct bidirectional exchange."""
+    net, pa, pb = build_network(config)
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7952)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 5000)
+        yield from api_a.send_all(cfd, data[::-1])
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7952))
+        payload = bytes(range(200)) * 25
+        yield from api_b.send_all(fd, payload)
+        echo = yield from api_b.recv_exactly(fd, 5000)
+        return echo == payload[::-1]
+
+    _s, ok = net.run_all([server(), client()], until=BOUND)
+    assert ok
+    assert api_b.library.stack.shared_buffers
+
+
+def test_double_close_is_harmless():
+    net, pa, _pb = build_network("library-shm-ipf")
+    api = pa.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(fd, 9895)
+        yield from api.close(fd)
+        with pytest.raises(SocketError):
+            yield from api.close(fd)  # EBADF on the second close
+        return True
+
+    assert net.run_all([prog()], until=BOUND)[0]
+
+
+def test_operations_on_embryonic_tcp_socket_fail_cleanly():
+    net, pa, _pb = build_network("library-shm-ipf")
+    api = pa.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_STREAM)
+        with pytest.raises(SocketError):
+            yield from api.send(fd, b"too early")
+        with pytest.raises(SocketError):
+            yield from api.recv(fd, 10)
+        return True
+
+    assert net.run_all([prog()], until=BOUND)[0]

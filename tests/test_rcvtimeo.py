@@ -1,0 +1,88 @@
+"""SO_RCVTIMEO semantics across placements."""
+
+import pytest
+
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.stack.engine import SocketTimeout
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+BOUND = 200_000_000
+
+
+@pytest.mark.parametrize("config", ["mach25", "ux", "library-shm-ipf"])
+def test_udp_recv_times_out(config):
+    net, pa, _pb = build_network(config)
+    api = pa.new_app()
+
+    def prog():
+        fd = yield from api.socket(SOCK_DGRAM)
+        yield from api.bind(fd, 9950)
+        yield from api.setsockopt(fd, "rcvtimeo", 1_000_000)
+        start = net.sim.now
+        with pytest.raises(SocketTimeout):
+            yield from api.recvfrom(fd)
+        return net.sim.now - start
+
+    elapsed = net.run_all([prog()], until=BOUND)[0]
+    assert elapsed >= 1_000_000
+    assert elapsed < 2_000_000
+
+
+def test_tcp_recv_times_out_then_data_still_flows():
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7960)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        yield from api_a.setsockopt(cfd, "rcvtimeo", 500_000)
+        timed_out = False
+        try:
+            yield from api_a.recv(cfd, 100)
+        except SocketTimeout:
+            timed_out = True
+        # Clear the timeout; the eventual data must still arrive.
+        yield from api_a.setsockopt(cfd, "rcvtimeo", None)
+        data = yield from api_a.recv(cfd, 100)
+        return timed_out, data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7960))
+        yield net.sim.timeout(2_000_000)  # longer than the timeout
+        yield from api_b.send_all(fd, b"eventually")
+
+    (timed_out, data), _c = net.run_all([server(), client()], until=BOUND)
+    assert timed_out
+    assert data == b"eventually"
+
+
+def test_timeout_not_triggered_when_data_is_prompt():
+    net, pa, pb = build_network("mach25")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_DGRAM)
+        yield from api_a.bind(fd, 9951)
+        yield from api_a.setsockopt(fd, "rcvtimeo", 10_000_000)
+        ready.succeed()
+        data, _src = yield from api_a.recvfrom(fd)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.sendto(fd, b"prompt", (IP1, 9951))
+
+    data, _c = net.run_all([server(), client()], until=BOUND)
+    assert data == b"prompt"

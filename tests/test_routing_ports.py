@@ -1,0 +1,110 @@
+"""Routing table and the port namespace manager."""
+
+import pytest
+
+from repro.net.addr import ip_aton
+from repro.net.ports import PortInUse, PortManager
+from repro.net.routing import RouteTable
+
+
+def test_longest_prefix_wins():
+    table = RouteTable()
+    table.add("10.0.0.0", 8, iface="en0", gateway="10.1.1.1")
+    table.add("10.2.0.0", 16, iface="en1")
+    table.add("10.2.3.0", 24, iface="en2")
+    assert table.lookup("10.2.3.4").iface == "en2"
+    assert table.lookup("10.2.9.9").iface == "en1"
+    assert table.lookup("10.9.9.9").iface == "en0"
+    assert table.lookup("192.168.1.1") is None
+
+
+def test_default_route():
+    table = RouteTable()
+    table.add("0.0.0.0", 0, iface="ppp0", gateway="10.0.0.254")
+    route = table.lookup("8.8.8.8")
+    assert route.gateway == ip_aton("10.0.0.254")
+    assert not route.is_direct
+
+
+def test_remove_and_generation():
+    table = RouteTable()
+    table.add("10.0.0.0", 24, iface="en0")
+    gen = table.generation
+    assert table.remove("10.0.0.0", 24)
+    assert table.generation > gen
+    assert not table.remove("10.0.0.0", 24)
+    assert table.lookup("10.0.0.5") is None
+
+
+def test_route_masks_prefix():
+    table = RouteTable()
+    route = table.add("10.0.0.77", 24, iface="en0")
+    assert route.prefix == ip_aton("10.0.0.0")
+
+
+# ----------------------------------------------------------------------
+
+
+def test_bind_conflicts():
+    ports = PortManager("tcp")
+    ports.bind(ip_aton("10.0.0.1"), 80)
+    with pytest.raises(PortInUse):
+        ports.bind(ip_aton("10.0.0.1"), 80)
+    with pytest.raises(PortInUse):
+        ports.bind(0, 80)  # wildcard conflicts with specific
+
+
+def test_wildcard_blocks_specific():
+    ports = PortManager("tcp")
+    ports.bind(0, 80)
+    with pytest.raises(PortInUse):
+        ports.bind(ip_aton("10.0.0.1"), 80)
+
+
+def test_two_addresses_same_port():
+    ports = PortManager("tcp")
+    ports.bind(ip_aton("10.0.0.1"), 80)
+    ports.bind(ip_aton("10.0.0.2"), 80)
+    assert ports.is_bound(80)
+
+
+def test_port_range_validation():
+    ports = PortManager("udp")
+    with pytest.raises(ValueError):
+        ports.bind(0, 0)
+    with pytest.raises(ValueError):
+        ports.bind(0, 70000)
+
+
+def test_ephemeral_allocation_and_reuse():
+    ports = PortManager("tcp")
+    first = ports.bind_ephemeral(0)
+    second = ports.bind_ephemeral(0)
+    assert first != second
+    assert PortManager.EPHEMERAL_FIRST <= first <= PortManager.EPHEMERAL_LAST
+    ports.release(0, first)
+    assert not ports.is_bound(first)
+
+
+def test_ephemeral_exhaustion():
+    ports = PortManager("tcp")
+    ports.EPHEMERAL_FIRST = 1024
+    ports.EPHEMERAL_LAST = 1026
+    ports._next_ephemeral = 1024
+    allocated = [ports.bind_ephemeral(0) for _ in range(3)]
+    assert sorted(allocated) == [1024, 1025, 1026]
+    with pytest.raises(PortInUse):
+        ports.bind_ephemeral(0)
+
+
+def test_release_unbound_raises():
+    ports = PortManager("tcp")
+    with pytest.raises(KeyError):
+        ports.release(0, 9999)
+
+
+def test_bound_count():
+    ports = PortManager("udp")
+    ports.bind(0, 53)
+    ports.bind(ip_aton("10.0.0.1"), 54)
+    assert ports.bound_count() == 2

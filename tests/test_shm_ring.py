@@ -1,0 +1,86 @@
+"""Shared-memory packet rings: batching, drops, amortization."""
+
+import pytest
+
+from repro.mem.shm import SharedPacketRing
+from repro.sim import Simulator, Timeout
+
+
+def test_slots_validation(sim):
+    with pytest.raises(ValueError):
+        SharedPacketRing(sim, slots=0)
+
+
+def test_deposit_then_receive(sim):
+    ring = SharedPacketRing(sim)
+    ring.deposit(b"one")
+    ring.deposit(b"two")
+
+    def reader():
+        batch = yield from ring.receive()
+        return batch
+
+    assert sim.run_process(reader()) == [b"one", b"two"]
+    assert ring.wakeups == 1
+    assert ring.packets_delivered == 2
+
+
+def test_blocking_receive_wakes_on_deposit(sim):
+    ring = SharedPacketRing(sim)
+
+    def reader():
+        batch = yield from ring.receive()
+        return sim.now, batch
+
+    def writer():
+        yield Timeout(50)
+        assert ring.needs_wakeup()
+        ring.deposit(b"pkt")
+
+    proc = sim.spawn(reader())
+    sim.spawn(writer())
+    sim.run()
+    assert proc.value == (50, [b"pkt"])
+
+
+def test_overrun_drops(sim):
+    ring = SharedPacketRing(sim, slots=4)
+    for i in range(6):
+        ring.deposit(b"p%d" % i)
+    assert len(ring) == 4
+    assert ring.packets_dropped == 2
+
+
+def test_amortization_counts_batches(sim):
+    ring = SharedPacketRing(sim)
+
+    def traffic():
+        for burst in range(3):
+            for _ in range(4):
+                ring.deposit(b"x")
+            yield Timeout(10)
+
+    def reader():
+        total = 0
+        while total < 12:
+            batch = yield from ring.receive()
+            total += len(batch)
+
+    sim.spawn(traffic())
+    sim.spawn(reader())
+    sim.run()
+    assert ring.packets_delivered == 12
+    assert ring.wakeups <= 4
+    assert ring.amortization() >= 3.0
+
+
+def test_try_receive_nonblocking(sim):
+    ring = SharedPacketRing(sim)
+    assert ring.try_receive() == []
+    ring.deposit(b"a")
+    assert ring.try_receive() == [b"a"]
+
+
+def test_needs_wakeup_only_with_waiter(sim):
+    ring = SharedPacketRing(sim)
+    assert not ring.needs_wakeup()

@@ -1,0 +1,119 @@
+"""shutdown(2) half-close semantics across placements."""
+
+import pytest
+
+from repro.core.sockets import SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+BOUND = 300_000_000
+
+
+@pytest.mark.parametrize("config", ["mach25", "ux", "library-shm-ipf"])
+def test_half_close_request_response(config):
+    """The classic use: client sends a request and shuts down its write
+    side (EOF marks end-of-request); the response still flows back."""
+    net, pa, pb = build_network(config)
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7970)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        request = bytearray()
+        while True:
+            chunk = yield from api_a.recv(cfd, 4096)
+            if not chunk:
+                break  # the client's shutdown delivered EOF
+            request.extend(chunk)
+        yield from api_a.send_all(cfd, bytes(request).upper())
+        yield from api_a.close(cfd)
+        return bytes(request)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7970))
+        yield from api_b.send_all(fd, b"get the thing")
+        yield from api_b.shutdown(fd)
+        response = bytearray()
+        while True:
+            chunk = yield from api_b.recv(fd, 4096)
+            if not chunk:
+                break
+            response.extend(chunk)
+        yield from api_b.close(fd)
+        return bytes(response)
+
+    request, response = net.run_all([server(), client()], until=BOUND)
+    assert request == b"get the thing"
+    assert response == b"GET THE THING"
+
+
+def test_shutdown_keeps_library_session_in_the_app():
+    """Unlike close, shutdown must not migrate the session away — the
+    read half stays on the application fast path."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7971)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        while True:
+            chunk = yield from api_a.recv(cfd, 4096)
+            if not chunk:
+                break
+        yield from api_a.send_all(cfd, b"reply")
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7971))
+        yield from api_b.shutdown(fd)
+        migrations_after_shutdown = pb.server.migrations_in
+        data = yield from api_b.recv(fd, 100)
+        return migrations_after_shutdown, data
+
+    _s, (migrations, data) = net.run_all([server(), client()], until=BOUND)
+    assert migrations == 0  # shutdown did not hand the session back
+    assert data == b"reply"
+    assert api_b.library.stack.tcp_session_count() == 1
+
+
+def test_send_after_shutdown_raises():
+    net, pa, pb = build_network("mach25")
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7972)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        yield from api_a.recv(cfd, 100)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7972))
+        yield from api_b.shutdown(fd)
+        try:
+            yield from api_b.send(fd, b"too late")
+        except Exception as exc:
+            return type(exc).__name__
+        return "no error"
+
+    _s, err = net.run_all([server(), client()], until=BOUND)
+    assert err != "no error"

@@ -1,0 +1,98 @@
+"""TCP segment encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import ip_aton
+from repro.net.tcp.header import (
+    ACK,
+    FIN,
+    PSH,
+    SYN,
+    TCPSegment,
+    flags_str,
+)
+
+SRC = ip_aton("10.0.0.1")
+DST = ip_aton("10.0.0.2")
+
+
+def test_roundtrip_with_mss():
+    seg = TCPSegment(1234, 80, seq=111, ack=222, flags=SYN | ACK,
+                     window=8192, mss_option=1460)
+    out = TCPSegment.unpack(SRC, DST, seg.pack(SRC, DST))
+    assert out.src_port == 1234
+    assert out.dst_port == 80
+    assert out.seq == 111
+    assert out.ack == 222
+    assert out.flags == SYN | ACK
+    assert out.window == 8192
+    assert out.mss_option == 1460
+
+
+@given(
+    st.binary(max_size=1460),
+    st.integers(0, (1 << 32) - 1),
+    st.integers(0, (1 << 32) - 1),
+    st.integers(0, 65535),
+)
+def test_roundtrip_property(payload, seqno, ackno, window):
+    seg = TCPSegment(5, 6, seq=seqno, ack=ackno, flags=ACK | PSH,
+                     window=window, payload=payload)
+    out = TCPSegment.unpack(SRC, DST, seg.pack(SRC, DST))
+    assert out.payload == payload
+    assert out.seq == seqno
+    assert out.ack == ackno
+    assert out.window == window
+    assert out.mss_option is None
+
+
+@given(st.integers(0, 53), st.integers(1, 255))
+def test_checksum_detects_corruption(pos, flip):
+    seg = TCPSegment(5, 6, seq=1, flags=ACK, payload=b"corruptible data")
+    packed = bytearray(seg.pack(SRC, DST))
+    pos %= len(packed)
+    packed[pos] ^= flip
+    with pytest.raises(ValueError):
+        TCPSegment.unpack(SRC, DST, bytes(packed))
+
+
+def test_checksum_covers_pseudo_header():
+    seg = TCPSegment(5, 6, flags=ACK)
+    packed = seg.pack(SRC, DST)
+    with pytest.raises(ValueError):
+        TCPSegment.unpack(ip_aton("10.0.0.3"), DST, packed)
+
+
+def test_short_segment_rejected():
+    with pytest.raises(ValueError):
+        TCPSegment.unpack(SRC, DST, b"\x00" * 10)
+
+
+def test_bad_data_offset_rejected():
+    seg = TCPSegment(1, 2, flags=ACK)
+    packed = bytearray(seg.pack(SRC, DST))
+    packed[12] = 0x30  # data offset 3 words < minimum 5
+    with pytest.raises(ValueError, match="offset"):
+        TCPSegment.unpack(SRC, DST, bytes(packed), verify=False)
+
+
+def test_wire_len_counts_syn_fin():
+    assert TCPSegment(1, 2, flags=SYN).wire_len == 1
+    assert TCPSegment(1, 2, flags=FIN, payload=b"ab").wire_len == 3
+    assert TCPSegment(1, 2, flags=ACK).wire_len == 0
+
+
+def test_malformed_options_tolerated():
+    seg = TCPSegment(1, 2, flags=SYN, mss_option=536)
+    packed = bytearray(seg.pack(SRC, DST))
+    packed[20] = 99  # unknown option kind with garbage length
+    packed[21] = 0
+    # Must not crash; the MSS is simply not recognized.
+    out = TCPSegment.unpack(SRC, DST, bytes(packed), verify=False)
+    assert out.mss_option is None
+
+
+def test_flags_str():
+    assert flags_str(SYN | ACK) == "SYN|ACK"
+    assert flags_str(0) == "-"

@@ -1,0 +1,241 @@
+"""TCP support machinery: state table, timers, congestion, reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.tcp.congestion import MAXWIN, REXMT_THRESH, CongestionControl
+from repro.net.tcp.reassembly import ReassemblyQueue
+from repro.net.tcp.state import (
+    SEND_OK,
+    SYNCHRONIZED,
+    TCPState,
+    legal_transition,
+)
+from repro.net.tcp.timers import (
+    BACKOFF,
+    RTTEstimator,
+    TCPTV_MIN,
+    TCPTV_REXMTMAX,
+    TCP_MAXRXTSHIFT,
+)
+
+
+# ----------------------------------------------------------------------
+# State machine
+# ----------------------------------------------------------------------
+
+def test_legal_transitions():
+    assert legal_transition(TCPState.CLOSED, TCPState.SYN_SENT)
+    assert legal_transition(TCPState.SYN_SENT, TCPState.ESTABLISHED)
+    assert legal_transition(TCPState.ESTABLISHED, TCPState.FIN_WAIT_1)
+    assert legal_transition(TCPState.FIN_WAIT_1, TCPState.CLOSING)
+    assert legal_transition(TCPState.LAST_ACK, TCPState.CLOSED)
+
+
+def test_illegal_transitions():
+    assert not legal_transition(TCPState.CLOSED, TCPState.ESTABLISHED)
+    assert not legal_transition(TCPState.TIME_WAIT, TCPState.ESTABLISHED)
+    assert not legal_transition(TCPState.FIN_WAIT_2, TCPState.FIN_WAIT_1)
+
+
+def test_state_sets_consistent():
+    assert TCPState.ESTABLISHED in SEND_OK
+    assert TCPState.CLOSE_WAIT in SEND_OK
+    assert TCPState.LISTEN not in SYNCHRONIZED
+    assert SEND_OK <= SYNCHRONIZED
+
+
+# ----------------------------------------------------------------------
+# RTT estimation
+# ----------------------------------------------------------------------
+
+def test_rtt_first_sample_seeds():
+    est = RTTEstimator()
+    est.update(4)
+    assert est.srtt == 4 << 3
+    assert est.rto_ticks() >= TCPTV_MIN
+
+
+def test_rtt_converges_to_stable_rtt():
+    est = RTTEstimator()
+    for _ in range(50):
+        est.update(4)
+    # Stable RTT of 2 seconds: RTO should be modest and bounded.
+    assert TCPTV_MIN <= est.rto_ticks() <= 12
+
+
+def test_rto_bounds():
+    est = RTTEstimator()
+    est.update(1)
+    assert est.rto_ticks() >= TCPTV_MIN
+    for _ in range(20):
+        est.backoff()
+    assert est.rto_ticks() <= TCPTV_REXMTMAX
+
+
+def test_backoff_gives_up_eventually():
+    est = RTTEstimator()
+    drops = [est.backoff() for _ in range(TCP_MAXRXTSHIFT + 1)]
+    assert drops[-1] is True
+    assert not any(drops[:-1])
+
+
+def test_backoff_table_monotonic():
+    assert all(b2 >= b1 for b1, b2 in zip(BACKOFF, BACKOFF[1:]))
+
+
+def test_measurement_resets_backoff():
+    est = RTTEstimator()
+    est.update(4)
+    est.backoff()
+    est.backoff()
+    high = est.rto_ticks()
+    est.update(4)
+    assert est.rto_ticks() < high
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=100))
+def test_rtt_always_positive(samples):
+    est = RTTEstimator()
+    for sample in samples:
+        est.update(sample)
+        assert est.srtt > 0
+        assert est.rttvar > 0
+        assert est.rto_ticks() >= TCPTV_MIN
+
+
+# ----------------------------------------------------------------------
+# Congestion control
+# ----------------------------------------------------------------------
+
+def test_slow_start_doubles_per_window():
+    cc = CongestionControl(mss=1000)
+    assert cc.cwnd == 1000
+    cc.on_ack(True)
+    assert cc.cwnd == 2000
+    assert cc.in_slow_start()
+
+
+def test_congestion_avoidance_linear():
+    cc = CongestionControl(mss=1000)
+    cc.ssthresh = 2000
+    cc.cwnd = 4000
+    before = cc.cwnd
+    cc.on_ack(True)
+    assert 0 < cc.cwnd - before <= 260  # ~mss^2/cwnd
+
+
+def test_cwnd_capped():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = MAXWIN
+    cc.on_ack(True)
+    assert cc.cwnd == MAXWIN
+
+
+def test_timeout_collapses_to_one_segment():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = 16000
+    cc.on_timeout(flight_size=16000)
+    assert cc.cwnd == 1000
+    assert cc.ssthresh == 8000
+    assert cc.timeouts == 1
+
+
+def test_ssthresh_floor_two_segments():
+    cc = CongestionControl(mss=1000)
+    cc.on_timeout(flight_size=1000)
+    assert cc.ssthresh == 2000
+
+
+def test_fast_retransmit_on_third_dupack():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = 8000
+    fired = [cc.on_duplicate_ack(8000) for _ in range(REXMT_THRESH + 2)]
+    assert fired == [False, False, True, False, False]
+    assert cc.cwnd == 1000  # Tahoe collapse
+    assert cc.fast_retransmits == 1
+
+
+def test_new_ack_resets_dupack_count():
+    cc = CongestionControl(mss=1000)
+    cc.on_duplicate_ack(4000)
+    cc.on_duplicate_ack(4000)
+    cc.on_ack(True)
+    assert cc.dupacks == 0
+
+
+def test_window_is_min_of_peer_and_cwnd():
+    cc = CongestionControl(mss=1000)
+    cc.cwnd = 3000
+    assert cc.window(10000) == 3000
+    assert cc.window(2000) == 2000
+
+
+# ----------------------------------------------------------------------
+# Reassembly queue
+# ----------------------------------------------------------------------
+
+def test_reass_in_order_passthrough():
+    q = ReassemblyQueue()
+    q.insert(100, b"abc")
+    data, nxt = q.extract(100)
+    assert data == b"abc"
+    assert nxt == 103
+
+
+def test_reass_hole_blocks():
+    q = ReassemblyQueue()
+    q.insert(110, b"later")
+    data, nxt = q.extract(100)
+    assert data == b""
+    assert nxt == 100
+    q.insert(100, b"0123456789")
+    data, nxt = q.extract(100)
+    assert data == b"0123456789later"
+
+
+def test_reass_exact_duplicate_dropped():
+    q = ReassemblyQueue()
+    q.insert(100, b"dup")
+    q.insert(100, b"dup")
+    data, _ = q.extract(100)
+    assert data == b"dup"
+
+
+def test_reass_overlap_trimmed():
+    q = ReassemblyQueue()
+    q.insert(100, b"abcdef")
+    q.insert(103, b"defghi")
+    data, nxt = q.extract(100)
+    assert data == b"abcdefghi"
+    assert nxt == 109
+    assert q.overlaps_trimmed >= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=400),
+    chunk=st.integers(1, 50),
+    seed=st.randoms(use_true_random=False),
+    base=st.integers(0, (1 << 32) - 1),
+)
+def test_reass_random_order_roundtrip(data, chunk, seed, base):
+    """Property: any segmentation, any arrival order (with duplicates),
+    extracts exactly the original stream — including across seq wrap."""
+    from repro.net.tcp.seq import seq_add
+
+    segments = [
+        (seq_add(base, off), data[off : off + chunk])
+        for off in range(0, len(data), chunk)
+    ]
+    shuffled = segments + segments[:2]  # some duplicates
+    seed.shuffle(shuffled)
+    q = ReassemblyQueue()
+    out = bytearray()
+    nxt = base
+    for seg_seq, payload in shuffled:
+        q.insert(seg_seq, payload)
+        got, nxt = q.extract(nxt)
+        out.extend(got)
+    assert bytes(out) == data
+    assert len(q) == 0

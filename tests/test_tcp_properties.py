@@ -1,0 +1,144 @@
+"""Property-based TCP testing: random operation interleavings.
+
+Drives two connections with randomized sequences of sends, receives,
+lossy/reordered deliveries, timer ticks, and eventual close, checking the
+invariants that must survive *any* interleaving:
+
+* the received stream is byte-exact a prefix of the sent stream,
+* sequence variables keep their ordering (snd_una <= snd_nxt <= snd_max),
+* the state machine only makes legal transitions (asserted internally),
+* with enough timer time, everything sent is eventually delivered.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.tcp import TCPConfig, TCPConnection
+from repro.net.tcp.header import TCPSegment
+from repro.net.tcp.seq import seq_le
+
+A_IP, B_IP = 0x0A000001, 0x0A000002
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.integers(1, 2000)),
+        st.tuples(st.just("recv"), st.integers(1, 4096)),
+        st.tuples(st.just("deliver"), st.floats(0.0, 0.4)),
+        st.tuples(st.just("tick"), st.integers(1, 3)),
+    ),
+    min_size=5,
+    max_size=60,
+)
+
+
+def check_seq_invariants(conn):
+    assert seq_le(conn.snd_una, conn.snd_nxt) or conn.snd_nxt == conn.snd_una
+    assert seq_le(conn.snd_nxt, conn.snd_max)
+
+
+def deliver(src, dst, sip, dip, loss, rng):
+    for seg in src.take_output():
+        if rng.random() < loss:
+            continue
+        packed = seg.pack(sip, dip)
+        dst.segment_arrives(TCPSegment.unpack(sip, dip, packed))
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=ops, seed=st.integers(0, 2**32 - 1))
+def test_random_interleavings_preserve_stream_integrity(script, seed):
+    import random
+
+    rng = random.Random(seed)
+    cfg = TCPConfig(nodelay=True, delayed_ack=False, snd_buf=8192,
+                    rcv_buf=8192)
+    a = TCPConnection((A_IP, 1000), config=cfg)
+    b = TCPConnection((B_IP, 2000), config=TCPConfig(
+        nodelay=True, delayed_ack=False, snd_buf=8192, rcv_buf=8192))
+    b.open_passive()
+    a.open_active((B_IP, 2000))
+    for _ in range(6):  # lossless handshake
+        deliver(a, b, A_IP, B_IP, 0.0, rng)
+        deliver(b, a, B_IP, A_IP, 0.0, rng)
+
+    sent = bytearray()
+    received = bytearray()
+    payload_counter = 0
+
+    for op, arg in script:
+        if op == "send":
+            chunk = bytes(
+                (payload_counter + i) & 0xFF for i in range(arg)
+            )
+            taken = a.send(chunk)
+            sent.extend(chunk[:taken])
+            payload_counter += taken
+        elif op == "recv":
+            received.extend(b.receive(arg))
+        elif op == "deliver":
+            deliver(a, b, A_IP, B_IP, arg, rng)
+            deliver(b, a, B_IP, A_IP, arg, rng)
+        elif op == "tick":
+            for _ in range(arg):
+                a.tick_slow()
+                a.tick_fast()
+                b.tick_slow()
+                b.tick_fast()
+        check_seq_invariants(a)
+        check_seq_invariants(b)
+        # Whatever has been received so far is a prefix of what was sent.
+        assert bytes(received) == bytes(sent[: len(received)])
+
+    # Drain to completion: with lossless delivery plus timers, every
+    # accepted byte must eventually arrive, in order.
+    for _ in range(400):
+        deliver(a, b, A_IP, B_IP, 0.0, rng)
+        deliver(b, a, B_IP, A_IP, 0.0, rng)
+        received.extend(b.receive(1 << 16))
+        if len(received) == len(sent):
+            break
+        a.tick_slow()
+        a.tick_fast()
+        b.tick_slow()
+        b.tick_fast()
+    assert bytes(received) == bytes(sent)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=3000), min_size=1,
+                    max_size=10),
+    loss=st.floats(0.0, 0.3),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_lossy_bulk_streams_are_exact(chunks, loss, seed):
+    import random
+
+    rng = random.Random(seed)
+    cfg = TCPConfig(nodelay=True, delayed_ack=False)
+    a = TCPConnection((A_IP, 1000), config=cfg)
+    b = TCPConnection((B_IP, 2000), config=TCPConfig(nodelay=True,
+                                                     delayed_ack=False))
+    b.open_passive()
+    a.open_active((B_IP, 2000))
+    for _ in range(6):
+        deliver(a, b, A_IP, B_IP, 0.0, rng)
+        deliver(b, a, B_IP, A_IP, 0.0, rng)
+
+    payload = b"".join(chunks)
+    sent = 0
+    received = bytearray()
+    stall = 0
+    while len(received) < len(payload) and stall < 2000:
+        if sent < len(payload):
+            sent += a.send(payload[sent:])
+        deliver(a, b, A_IP, B_IP, loss, rng)
+        deliver(b, a, B_IP, A_IP, loss, rng)
+        got = b.receive(1 << 20)
+        received.extend(got)
+        if not got:
+            stall += 1
+            a.tick_slow()
+            b.tick_slow()
+        else:
+            stall = 0
+    assert bytes(received) == payload

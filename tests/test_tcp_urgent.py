@@ -1,0 +1,82 @@
+"""TCP urgent data (MSG_OOB with SO_OOBINLINE semantics)."""
+
+from repro.net.tcp import TCPConfig, TCPConnection
+from repro.net.tcp.header import URG
+
+from tests.test_tcp_conn import A_IP, B_IP, make_pair, pump
+
+
+def test_urgent_segment_carries_urg_and_pointer():
+    a, b = make_pair()
+    a.send_urgent(b"!")
+    outs = a.take_output()
+    assert outs
+    seg = outs[0]
+    assert seg.flags & URG
+    assert seg.urgent == 1  # points just past the single urgent byte
+
+
+def test_receiver_tracks_urgent_mark():
+    a, b = make_pair()
+    a.send(b"normal")
+    pump(a, b)
+    a.send_urgent(b"URGENT")
+    pump(a, b)
+    assert b.urgent_valid
+    # 6 normal + 6 urgent bytes buffered; the mark sits at their end.
+    assert b.urgent_offset() == 12
+    data = b.receive(100)
+    assert data == b"normalURGENT"  # OOBINLINE: data stays in-stream
+
+
+def test_urgent_offset_none_without_urgent():
+    a, b = make_pair()
+    a.send(b"plain")
+    pump(a, b)
+    assert b.urgent_offset() is None
+
+
+def test_urgent_mark_advances_with_reads():
+    a, b = make_pair()
+    a.send_urgent(b"ab")  # two bytes, mark after the second
+    pump(a, b)
+    assert b.urgent_offset() == 2
+    b.receive(1)
+    assert b.urgent_offset() == 1
+    b.receive(1)
+    assert b.urgent_offset() == 0  # SIOCATMARK: at the mark
+
+
+def test_later_urgent_supersedes_earlier():
+    a, b = make_pair()
+    a.send_urgent(b"x")
+    pump(a, b)
+    a.send_urgent(b"y")
+    pump(a, b)
+    # Mark follows the most recent urgent byte (2 buffered bytes).
+    assert b.urgent_offset() == 2
+
+
+def test_urgent_survives_migration():
+    a, b = make_pair()
+    a.send_urgent(b"oob")
+    pump(a, b)
+    state = b.export_state()
+    b2 = TCPConnection((0, 0), config=TCPConfig())
+    b2.import_state(state)
+    assert b2.urgent_valid
+    assert b2.urgent_offset() == 3
+
+
+def test_normal_data_after_urgent_clears_flag_on_wire():
+    a, b = make_pair()
+    a.send_urgent(b"u")
+    pump(a, b)
+    a.send(b"after")
+    outs = a.take_output()
+    assert outs and not outs[0].flags & URG
+    for seg in outs:
+        from repro.net.tcp.header import TCPSegment
+
+        b.segment_arrives(TCPSegment.unpack(A_IP, B_IP, seg.pack(A_IP, B_IP)))
+    assert b.receive(100) == b"uafter"

@@ -1,0 +1,147 @@
+"""RFC 1323 window scaling — the "TCP Extensions for High-Performance"
+the paper cites as exactly the kind of protocol evolution a library
+stack makes deployable per application."""
+
+import random
+
+from repro.net.addr import ip_aton
+from repro.net.tcp import TCPConfig, TCPConnection, TCPState
+from repro.net.tcp.header import TCPSegment
+
+from tests.test_tcp_conn import A_IP, B_IP, pump
+
+
+def make_pair(a_scale, b_scale, rcv_buf=256 * 1024):
+    a = TCPConnection(
+        (A_IP, 1000),
+        config=TCPConfig(nodelay=True, delayed_ack=False,
+                         window_scale=a_scale, rcv_buf=rcv_buf),
+    )
+    b = TCPConnection(
+        (B_IP, 2000),
+        config=TCPConfig(nodelay=True, delayed_ack=False,
+                         window_scale=b_scale, rcv_buf=rcv_buf),
+    )
+    b.open_passive()
+    a.open_active((B_IP, 2000))
+    pump(a, b)
+    return a, b
+
+
+def test_negotiated_when_both_sides_offer():
+    a, b = make_pair(2, 3)
+    assert a.state == TCPState.ESTABLISHED
+    assert (a.rcv_scale, a.snd_scale) == (2, 3)
+    assert (b.rcv_scale, b.snd_scale) == (3, 2)
+
+
+def test_disabled_when_one_side_missing():
+    a, b = make_pair(2, None)
+    assert (a.rcv_scale, a.snd_scale) == (0, 0)
+    assert (b.rcv_scale, b.snd_scale) == (0, 0)
+
+
+def test_scaled_window_exceeds_64k():
+    a, b = make_pair(3, 3)
+    # b advertises its big buffer; a's view of snd_wnd must exceed 64 KB.
+    a.send(b"x")
+    pump(a, b)
+    b.receive(10)
+    pump(a, b)
+    assert a.snd_wnd > 0xFFFF
+
+
+def test_unscaled_window_capped_at_64k():
+    a, b = make_pair(None, None)
+    a.send(b"x")
+    pump(a, b)
+    assert a.snd_wnd <= 0xFFFF
+
+
+def test_wire_field_stays_16_bit():
+    a, b = make_pair(4, 4)
+    a.send(b"probe")
+    for seg in a.take_output():
+        packed = seg.pack(A_IP, B_IP)
+        parsed = TCPSegment.unpack(A_IP, B_IP, packed)
+        assert 0 <= parsed.window <= 0xFFFF
+        b.segment_arrives(parsed)
+
+
+def test_bulk_transfer_with_scaling_intact():
+    a, b = make_pair(2, 2)
+    a.cc.cwnd = 1 << 20  # remove the congestion cap for the check
+    payload = bytes(random.Random(2).randbytes(200_000))
+    sent = 0
+    received = bytearray()
+    while len(received) < len(payload):
+        if sent < len(payload):
+            sent += a.send(payload[sent:])
+        pump(a, b)
+        received += b.receive(1 << 22)
+    assert bytes(received) == payload
+
+
+def test_scaling_survives_migration():
+    a, b = make_pair(2, 2)
+    state = a.export_state()
+    a2 = TCPConnection((0, 0), config=TCPConfig(window_scale=2,
+                                                rcv_buf=256 * 1024))
+    a2.import_state(state)
+    assert a2.snd_scale == 2
+    assert a2.rcv_scale == 2
+    assert a2.cc.max_window == 0xFFFF << 2
+    a2.send(b"post-migration")
+    pump(a2, b)
+    assert b.receive(100) == b"post-migration"
+
+
+def test_wscale_capped_at_14():
+    seg = TCPSegment(1, 2, flags=2, wscale_option=30)
+    parsed = TCPSegment.unpack(A_IP, B_IP, seg.pack(A_IP, B_IP))
+    assert parsed.wscale_option == 14
+
+
+def test_config_validates_scale_range():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TCPConfig(window_scale=15)
+    with pytest.raises(ValueError):
+        TCPConfig(window_scale=-1)
+
+
+def test_end_to_end_placement_with_scaling():
+    """The library placement can enable scaling per application via
+    tcp_defaults — no kernel involvement."""
+    from repro.core.sockets import SOCK_STREAM
+    from repro.world.configs import build_network
+
+    net, pa, pb = build_network(
+        "library-shm-ipf",
+        tcp_defaults={"window_scale": 2, "rcv_buf": 200 * 1024},
+    )
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7600)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 50_000)
+        return len(data)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (ip_aton("10.0.0.1"), 7600))
+        yield from api_b.send_all(fd, b"w" * 50_000)
+        psock = api_b.fds.get(fd).payload
+        return psock.session.conn.snd_scale, psock.session.conn.rcv_scale
+
+    got, scales = net.run_all([server(), client()], until=200_000_000)
+    assert got == 50_000
+    assert scales == (2, 2)

@@ -1,0 +1,66 @@
+"""UDP datagram encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import udp
+from repro.net.addr import ip_aton
+
+SRC = ip_aton("10.0.0.1")
+DST = ip_aton("10.0.0.2")
+
+
+def test_roundtrip():
+    dgram = udp.encapsulate(SRC, DST, 1234, 80, b"hello")
+    header, payload = udp.decapsulate(SRC, DST, dgram)
+    assert header.src_port == 1234
+    assert header.dst_port == 80
+    assert payload == b"hello"
+
+
+@given(st.binary(max_size=2048), st.integers(1, 65535), st.integers(1, 65535))
+def test_roundtrip_property(payload, sport, dport):
+    dgram = udp.encapsulate(SRC, DST, sport, dport, payload)
+    header, out = udp.decapsulate(SRC, DST, dgram)
+    assert out == payload
+    assert header.length == len(payload) + udp.HEADER_LEN
+
+
+def test_checksum_covers_pseudo_header():
+    dgram = udp.encapsulate(SRC, DST, 1, 2, b"data")
+    # Same bytes, wrong claimed source address: checksum must fail.
+    with pytest.raises(ValueError, match="checksum"):
+        udp.decapsulate(ip_aton("10.0.0.9"), DST, dgram)
+
+
+@given(st.integers(0, 11), st.integers(1, 255))
+def test_corruption_detected(pos, flip):
+    dgram = bytearray(udp.encapsulate(SRC, DST, 7, 8, b"ping"))
+    dgram[pos] ^= flip
+    with pytest.raises(ValueError):
+        udp.decapsulate(SRC, DST, bytes(dgram))
+
+
+def test_truncated_rejected():
+    dgram = udp.encapsulate(SRC, DST, 7, 8, b"full message")
+    with pytest.raises(ValueError):
+        udp.decapsulate(SRC, DST, dgram[:6])
+
+
+def test_bad_length_field_rejected():
+    dgram = bytearray(udp.encapsulate(SRC, DST, 7, 8, b"x"))
+    dgram[4:6] = (3).to_bytes(2, "big")  # length < header size
+    with pytest.raises(ValueError, match="length"):
+        udp.decapsulate(SRC, DST, bytes(dgram), verify=False)
+
+
+def test_ethernet_padding_ignored():
+    dgram = udp.encapsulate(SRC, DST, 7, 8, b"short")
+    padded = dgram + b"\x00" * 30
+    _header, payload = udp.decapsulate(SRC, DST, padded)
+    assert payload == b"short"
+
+
+def test_oversized_rejected():
+    with pytest.raises(ValueError):
+        udp.encapsulate(SRC, DST, 1, 2, b"x" * 65536)
