@@ -86,6 +86,43 @@ def host_report(placement):
     return report
 
 
+def fault_report(wire):
+    """A structured report of a wire's fault-injection pipeline.
+
+    Returns counters for the wire itself (frames carried) and, when a
+    :class:`repro.faults.FaultPlan` is attached, per-stage counters plus
+    the plan's frames_in/frames_delivered fan-out totals.
+    """
+    report = {
+        "wire": wire.name,
+        "frames_carried": wire.frames_carried,
+        "frames_lost": wire.frames_lost,
+        "frames_corrupted": wire.frames_corrupted,
+        "stages": {},
+    }
+    plan = wire.fault_plan
+    if plan is not None:
+        report["frames_in"] = plan.frames_in
+        report["frames_delivered"] = plan.frames_delivered
+        report["stages"] = plan.counters()
+    return report
+
+
+def format_fault_report(report):
+    """Render a fault report as text."""
+    lines = ["Fault injection on %s" % report["wire"]]
+    lines.append("  %d frames carried, %d lost, %d corrupted"
+                 % (report["frames_carried"], report["frames_lost"],
+                    report["frames_corrupted"]))
+    if "frames_in" in report:
+        lines.append("  pipeline: %d frames in, %d delivered"
+                     % (report["frames_in"], report["frames_delivered"]))
+    for name, counters in report["stages"].items():
+        shown = ", ".join("%s=%s" % (k, v) for k, v in sorted(counters.items()))
+        lines.append("  %-24s %s" % (name, shown or "-"))
+    return "\n".join(lines)
+
+
 def format_report(report):
     """Render a host report as netstat-ish text."""
     lines = ["Active sessions on %s" % report["host"]]

@@ -81,6 +81,11 @@ class ProtocolLibrary:
             tcp_defaults=tcp_defaults,
         )
         self._input_threads = {}
+        #: sid -> kernel FilterHandle for this app's app-managed sessions.
+        #: The kernel filters survive a server crash; the library reports
+        #: them back during re-registration so the rebuilt server records
+        #: can keep managing them.
+        self.session_filters = {}
 
     # ------------------------------------------------------------------
     # Output: the kernel's low-latency send trap, from user space
@@ -155,6 +160,13 @@ class ProtocolLibrary:
                     yield from self.stack.input_frame(frame)
         except Interrupt:
             return
+
+    def note_app_filter(self, sid, handle):
+        """The server installed a kernel filter for session ``sid``."""
+        self.session_filters[sid] = handle
+
+    def forget_app_filter(self, sid):
+        self.session_filters.pop(sid, None)
 
     # ------------------------------------------------------------------
 

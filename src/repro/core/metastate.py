@@ -10,6 +10,8 @@ This module is the application side: a cache of ARP/route entries filled
 by RPC on miss, emptied by the server's invalidation callbacks.
 """
 
+import random
+
 from repro.net import arp
 from repro.stack.instrument import Layer
 
@@ -27,6 +29,13 @@ class MetastateCache:
         self.arp_rpcs = 0
         self.route_rpcs = 0
         self.invalidations = 0
+        # Metastate RPCs retry across server crashes; per-app seeded
+        # backoff jitter keeps whole runs deterministic.  ``gate`` (set by
+        # the proxy layer) holds retries until the app has re-registered
+        # with a restarted server, which must happen before any meta RPC
+        # can succeed.
+        self._retry_rng = random.Random(2000 + app_id)
+        self.gate = None
 
     # ------------------------------------------------------------------
     # ARP
@@ -43,9 +52,9 @@ class MetastateCache:
         if mac is not None:
             return mac
         self.arp_rpcs += 1
-        mac = yield from self._rpc.call(
+        mac = yield from self._rpc.call_retrying(
             ctx, "meta_arp", args=(self.app_id, next_hop_ip),
-            layer=Layer.ETHER_OUTPUT,
+            layer=Layer.ETHER_OUTPUT, rng=self._retry_rng, gate=self.gate,
         )
         self.arp_cache.insert(next_hop_ip, mac)
         return mac
@@ -76,9 +85,9 @@ class MetastateCache:
         if dst_ip in self._route_cache:
             return self._route_cache[dst_ip]
         self.route_rpcs += 1
-        next_hop = yield from self._rpc.call(
+        next_hop = yield from self._rpc.call_retrying(
             ctx, "meta_route", args=(self.app_id, dst_ip),
-            layer=Layer.ENTRY_COPYIN,
+            layer=Layer.ENTRY_COPYIN, rng=self._retry_rng, gate=self.gate,
         )
         self._route_cache[dst_ip] = next_hop
         return next_hop

@@ -21,6 +21,8 @@ close          proxy_close         session returns; server runs the teardown
 =============  ==================  =========================================
 """
 
+import random
+
 from repro.hw.cpu import Priority
 from repro.stack.context import ExecutionContext
 from repro.stack.instrument import Layer
@@ -51,7 +53,7 @@ class ProxySocket:
     """Per-descriptor proxy state."""
 
     __slots__ = ("sid", "kind", "mode", "session", "server_handle",
-                 "lport", "remote", "opts", "input_key")
+                 "lport", "remote", "opts", "input_key", "backlog")
 
     def __init__(self, sid, kind):
         self.sid = sid
@@ -63,6 +65,7 @@ class ProxySocket:
         self.remote = None
         self.opts = {}
         self.input_key = None
+        self.backlog = None  # listeners remember it for re-registration
 
 
 class ProxySocketAPI(SocketAPI):
@@ -87,6 +90,23 @@ class ProxySocketAPI(SocketAPI):
             crossings=library.ctx.crossings,
             name="%s.proxy" % library.name,
         )
+        # Crash resilience: every proxy RPC retries with seeded backoff
+        # jitter, and a watcher re-registers this app's surviving sessions
+        # whenever the server's port reopens after a crash.
+        self._retry_rng = random.Random(1000 + library.app_id)
+        self.reregistrations = 0
+        #: While not None: the server restarted but our sessions are not
+        #: re-registered yet; retrying RPCs wait on this event so they
+        #: never hit a server that does not know their ids.
+        self._rereg_ready = None
+        #: sid -> snapshot for sessions whose close RPC is in flight: the
+        #: descriptor is already freed, but the server must still learn
+        #: about them if it restarts before the close lands.
+        self._closing = {}
+        library.metastate.gate = self._gate
+        self._reregister_watcher = host.sim.spawn(
+            self._server_watcher(), name="%s.rereg" % library.name
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -97,10 +117,79 @@ class ProxySocketAPI(SocketAPI):
         yield from self.ctx.charge(layer, self.ctx.params.proc_call)
 
     def _rpc(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
-        result = yield from self.rpc.call(
-            self.ctx, op, args=args, data=data, layer=layer
+        result = yield from self.rpc.call_retrying(
+            self.ctx, op, args=args, data=data, layer=layer,
+            rng=self._retry_rng, gate=self._gate,
         )
         return result
+
+    def _gate(self):
+        return self._rereg_ready
+
+    def _server_watcher(self):
+        """Wait for the server to die, close the re-registration gate,
+        then — once the server is back — re-register this application's
+        surviving sessions and reopen the gate.  Loops forever (the server
+        may crash any number of times)."""
+        while True:
+            yield self.rpc.wait_down()
+            self._rereg_ready = self.ctx.sim.event(
+                "%s.rereg-gate" % self.library.name
+            )
+            yield self.rpc.wait_reopen()
+            yield from self._reregister()
+            gate, self._rereg_ready = self._rereg_ready, None
+            gate.succeed()
+
+    def _reregister(self):
+        """Report this app and its live sessions to a freshly restarted
+        server (see ``NetServer.op_proxy_reregister``).
+
+        App-managed sessions are reported with their sequence snapshot and
+        surviving kernel-filter handle; listeners with enough to rebuild
+        them server-side.  Post-fork *server-managed* data sessions died
+        with the server and cannot be reported back.
+        """
+        sessions = []
+        seen = set()
+        for snap in self._closing.values():
+            seen.add(snap["sid"])
+            sessions.append(dict(snap))
+        for desc in self.fds.descriptors():
+            psock = desc.payload
+            if psock is None or psock.sid in seen:
+                continue
+            seen.add(psock.sid)
+            if psock.mode == "app" and psock.session is not None:
+                snap = {
+                    "sid": psock.sid,
+                    "kind": psock.kind,
+                    "lport": psock.lport,
+                    "remote": psock.remote,
+                    "app_filter": self.library.session_filters.get(psock.sid),
+                }
+                if psock.kind == SOCK_STREAM:
+                    snap.update(
+                        self.stack.tcp_migration_snapshot(psock.session)
+                    )
+                sessions.append(snap)
+            elif (psock.mode == "server" and psock.kind == SOCK_STREAM
+                    and psock.server_handle is None):
+                sessions.append({
+                    "sid": psock.sid,
+                    "kind": psock.kind,
+                    "lport": psock.lport,
+                    "remote": None,
+                    "listener": True,
+                    "backlog": psock.backlog or 5,
+                    "opts": dict(psock.opts),
+                })
+        # Deliberately ungated (this RPC is what opens the gate).
+        yield from self.rpc.call_retrying(
+            self.ctx, "proxy_reregister", args=(self.library, sessions),
+            layer=Layer.ENTRY_COPYIN, rng=self._retry_rng,
+        )
+        self.reregistrations += 1
 
     def _adopt_tcp(self, psock, state, receiver):
         yield from self._prime_metastate(psock.remote[0])
@@ -178,6 +267,7 @@ class ProxySocketAPI(SocketAPI):
             "proxy_listen", psock.sid, backlog, psock.opts
         )
         psock.mode = "server"  # listeners stay with the OS server
+        psock.backlog = backlog
 
     def accept(self, fd):
         listener = self.fds.get(fd).payload
@@ -298,10 +388,20 @@ class ProxySocketAPI(SocketAPI):
             if psock.kind == SOCK_STREAM:
                 yield from self.stack._tcp_drain(psock.session)
                 state = self.stack.export_tcp_session(psock.session)
-                yield from self._rpc("proxy_close", psock.sid, state)
             else:
                 self.stack.udp_close(psock.session)
-                yield from self._rpc("proxy_close", psock.sid, None)
+                state = None
+            self._closing[psock.sid] = {
+                "sid": psock.sid,
+                "kind": psock.kind,
+                "lport": psock.lport,
+                "remote": psock.remote,
+                "app_filter": self.library.session_filters.get(psock.sid),
+            }
+            try:
+                yield from self._rpc("proxy_close", psock.sid, state)
+            finally:
+                self._closing.pop(psock.sid, None)
             self.library.detach_input(psock.input_key)
         elif psock.mode in ("server", "embryonic"):
             yield from self._rpc("proxy_close", psock.sid, None)

@@ -1,0 +1,123 @@
+"""The fault pipeline: transits, stages, and plans.
+
+A frame that finished serializing on the wire becomes a :class:`Transit`;
+the plan pushes it through each stage in order.  A stage may drop it
+(return ``[]``), mutate it (corruption, added delay, excluded receivers),
+or fan it out (duplication).  Whatever transits survive the pipeline are
+delivered by the wire after their accumulated delay.
+
+Determinism: all randomness comes from the plan's single ``rng`` and the
+stage order is fixed, so a run is a pure function of (workload, seed).
+"""
+
+import random
+
+
+class Transit:
+    """One frame in flight between serialization and delivery.
+
+    ``delay_us`` accumulates extra delivery delay (on top of the wire's
+    propagation delay); ``exclude`` is a set of NICs that must not receive
+    this transit (receiver-side blackholing).
+    """
+
+    __slots__ = ("frame", "sender", "delay_us", "exclude")
+
+    def __init__(self, frame, sender, delay_us=0.0, exclude=None):
+        self.frame = frame
+        self.sender = sender
+        self.delay_us = delay_us
+        self.exclude = exclude if exclude is not None else set()
+
+    def copy(self):
+        return Transit(self.frame, self.sender, self.delay_us,
+                       set(self.exclude))
+
+    def __repr__(self):
+        return "<Transit %d bytes +%.1fus>" % (len(self.frame), self.delay_us)
+
+
+class FaultStage:
+    """Base class for one composable fault.
+
+    Subclasses override :meth:`transit` (and optionally :meth:`install`,
+    for stages that need to schedule window boundaries).  Counters are
+    surfaced through :meth:`counters` and aggregated by the plan for
+    ``analysis.netstat``.
+    """
+
+    name = "stage"
+
+    def install(self, wire, sim):
+        """Called once when the plan is attached to a wire."""
+
+    def transit(self, t, rng, now):
+        """Transform one :class:`Transit`; return the surviving transits."""
+        return [t]
+
+    def counters(self):
+        return {}
+
+    def __repr__(self):
+        pairs = " ".join("%s=%s" % kv for kv in sorted(self.counters().items()))
+        return "<%s %s>" % (type(self).__name__, pairs)
+
+
+class FaultPlan:
+    """An ordered, seeded pipeline of fault stages for one wire."""
+
+    def __init__(self, stages=(), seed=None, rng=None):
+        self.stages = list(stages)
+        if rng is None:
+            rng = random.Random(0 if seed is None else seed)
+        self.rng = rng
+        self.wire = None
+        self.frames_in = 0
+        self.frames_delivered = 0
+
+    def add(self, stage):
+        self.stages.append(stage)
+        if self.wire is not None:
+            stage.install(self.wire, self.wire._sim)
+        return self
+
+    def attach(self, wire, sim):
+        self.wire = wire
+        for stage in self.stages:
+            stage.install(wire, sim)
+
+    def apply(self, frame, sender, now):
+        """Run one serialized frame through the pipeline.
+
+        Returns the list of :class:`Transit` objects to deliver (empty if
+        every copy was dropped).
+        """
+        self.frames_in += 1
+        transits = [Transit(frame, sender)]
+        for stage in self.stages:
+            survivors = []
+            for t in transits:
+                survivors.extend(stage.transit(t, self.rng, now))
+            transits = survivors
+            if not transits:
+                break
+        self.frames_delivered += len(transits)
+        return transits
+
+    def counters(self):
+        """Per-stage counters, keyed by stage name (deduplicated)."""
+        report = {}
+        for i, stage in enumerate(self.stages):
+            key = stage.name
+            if key in report:
+                key = "%s#%d" % (stage.name, i)
+            report[key] = stage.counters()
+        return report
+
+    def total(self, counter):
+        """Sum one named counter across every stage that exposes it."""
+        return sum(c.get(counter, 0) for c in
+                   (stage.counters() for stage in self.stages))
+
+    def __repr__(self):
+        return "<FaultPlan %d stages>" % len(self.stages)

@@ -1,0 +1,268 @@
+"""The built-in fault stages.
+
+Loss models (independent and Gilbert–Elliott bursty), payload corruption,
+duplication, delay jitter, reordering, time-windowed blackholes and
+partitions, and NIC receive-queue overflow.  Each stage keeps its own
+counters; compose them in a :class:`~repro.faults.plan.FaultPlan`.
+"""
+
+from repro.faults.plan import FaultStage
+
+#: Ethernet header bytes at the front of every frame; corruption targets
+#: the payload beyond them so the frame still demultiplexes.
+ETHER_HEADER = 14
+
+
+def flip_payload_byte(frame, rng):
+    """Invert one byte of ``frame``'s payload (past the Ethernet header).
+
+    A frame with no payload (len <= 14) is returned unchanged: there is
+    nothing to corrupt without hitting the header, which would just look
+    like a demux miss rather than exercising the checksum path.
+    """
+    if len(frame) <= ETHER_HEADER:
+        return None
+    span = len(frame) - ETHER_HEADER
+    pos = ETHER_HEADER + min(int(rng.random() * span), span - 1)
+    mutated = bytearray(frame)
+    mutated[pos] ^= 0xFF
+    return bytes(mutated)
+
+
+class BernoulliLoss(FaultStage):
+    """Independent per-frame loss at a fixed rate (the classic knob)."""
+
+    name = "loss"
+
+    def __init__(self, rate):
+        self.rate = rate
+        self.dropped = 0
+
+    def transit(self, t, rng, now):
+        if self.rate and rng.random() < self.rate:
+            self.dropped += 1
+            return []
+        return [t]
+
+    def counters(self):
+        return {"dropped": self.dropped}
+
+
+class GilbertElliottLoss(FaultStage):
+    """Two-state bursty loss (Gilbert–Elliott).
+
+    The channel is *good* or *bad*; each state drops frames at its own
+    rate, and after every frame the state flips with the configured
+    transition probabilities.  Mean burst length is ``1 / p_exit_bad``
+    frames; long-run loss is well above what an independent model with the
+    same average would concentrate into any single window — which is what
+    actually stresses retransmission and congestion machinery.
+    """
+
+    name = "gilbert-elliott"
+
+    def __init__(self, p_enter_bad, p_exit_bad, loss_good=0.0, loss_bad=1.0):
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.state = "good"
+        self.dropped = 0
+        self.bursts = 0
+
+    def transit(self, t, rng, now):
+        rate = self.loss_bad if self.state == "bad" else self.loss_good
+        drop = bool(rate) and rng.random() < rate
+        if self.state == "good":
+            if rng.random() < self.p_enter_bad:
+                self.state = "bad"
+                self.bursts += 1
+        elif rng.random() < self.p_exit_bad:
+            self.state = "good"
+        if drop:
+            self.dropped += 1
+            return []
+        return [t]
+
+    def counters(self):
+        return {"dropped": self.dropped, "bursts": self.bursts}
+
+
+class Corrupt(FaultStage):
+    """Flip one payload byte at a fixed rate (checksum-path exercise)."""
+
+    name = "corrupt"
+
+    def __init__(self, rate):
+        self.rate = rate
+        self.corrupted = 0
+
+    def transit(self, t, rng, now):
+        if self.rate and rng.random() < self.rate:
+            mutated = flip_payload_byte(t.frame, rng)
+            if mutated is not None:
+                t.frame = mutated
+                self.corrupted += 1
+        return [t]
+
+    def counters(self):
+        return {"corrupted": self.corrupted}
+
+
+class Duplicate(FaultStage):
+    """Deliver an extra copy of some frames, slightly later."""
+
+    name = "duplicate"
+
+    def __init__(self, rate, gap_us=100.0):
+        self.rate = rate
+        self.gap_us = gap_us
+        self.duplicated = 0
+
+    def transit(self, t, rng, now):
+        if self.rate and rng.random() < self.rate:
+            self.duplicated += 1
+            twin = t.copy()
+            twin.delay_us += self.gap_us
+            return [t, twin]
+        return [t]
+
+    def counters(self):
+        return {"duplicated": self.duplicated}
+
+
+class DelayJitter(FaultStage):
+    """Add ``base_us`` plus uniform jitter in [0, jitter_us) to delivery."""
+
+    name = "delay-jitter"
+
+    def __init__(self, base_us=0.0, jitter_us=0.0):
+        self.base_us = base_us
+        self.jitter_us = jitter_us
+        self.delayed = 0
+        self.total_delay_us = 0.0
+
+    def transit(self, t, rng, now):
+        extra = self.base_us
+        if self.jitter_us:
+            extra += rng.random() * self.jitter_us
+        if extra:
+            t.delay_us += extra
+            self.delayed += 1
+            self.total_delay_us += extra
+        return [t]
+
+    def counters(self):
+        return {"delayed": self.delayed,
+                "total_delay_us": round(self.total_delay_us, 1)}
+
+
+class Reorder(FaultStage):
+    """Hold some frames back so later frames overtake them.
+
+    ``hold_us`` should exceed a few frame times; a held full-size segment
+    lets several successors arrive first, which is what drives duplicate
+    ACKs and fast retransmit in the receiver-visible order.
+    """
+
+    name = "reorder"
+
+    def __init__(self, rate, hold_us=3000.0):
+        self.rate = rate
+        self.hold_us = hold_us
+        self.reordered = 0
+
+    def transit(self, t, rng, now):
+        if self.rate and rng.random() < self.rate:
+            t.delay_us += self.hold_us
+            self.reordered += 1
+        return [t]
+
+    def counters(self):
+        return {"reordered": self.reordered}
+
+
+class Blackhole(FaultStage):
+    """Time-windowed blackhole: during [start_us, end_us) frames vanish.
+
+    ``nics=None`` silences the whole wire.  With a set of NICs, frames
+    *sent by* them are dropped and frames *addressed to the wire* skip
+    them on delivery (``direction`` narrows this to ``"tx"`` or ``"rx"``).
+    Blackholing every NIC of one host partitions it from the segment, so
+    this stage doubles as the per-NIC partition primitive.
+    """
+
+    name = "blackhole"
+
+    def __init__(self, start_us, end_us, nics=None, direction="both"):
+        if direction not in ("tx", "rx", "both"):
+            raise ValueError("direction must be tx/rx/both, got %r" % direction)
+        self.start_us = start_us
+        self.end_us = end_us
+        self.nics = set(nics) if nics is not None else None
+        self.direction = direction
+        self.dropped = 0
+        self.shunned = 0  # deliveries suppressed on the receive side
+
+    def active(self, now):
+        return self.start_us <= now < self.end_us
+
+    def transit(self, t, rng, now):
+        if not self.active(now):
+            return [t]
+        if self.nics is None:
+            self.dropped += 1
+            return []
+        if self.direction in ("tx", "both") and t.sender in self.nics:
+            self.dropped += 1
+            return []
+        if self.direction in ("rx", "both"):
+            fresh = self.nics - t.exclude
+            if fresh:
+                t.exclude |= fresh
+                self.shunned += len(fresh)
+        return [t]
+
+    def counters(self):
+        return {"dropped": self.dropped, "shunned": self.shunned}
+
+
+class RxOverflow(FaultStage):
+    """Force receive-ring overflow on NICs during a time window.
+
+    Models a host too slow (or too wedged) to drain its receive ring: the
+    ring's effective capacity is clamped to ``limit`` frames between
+    ``start_us`` and ``end_us``, so arrivals beyond it are dropped by the
+    NIC itself and show up in its ``frames_dropped`` counter, exactly like
+    a real overrun.
+    """
+
+    name = "rx-overflow"
+
+    def __init__(self, start_us, end_us, nics, limit=0):
+        self.start_us = start_us
+        self.end_us = end_us
+        self.nics = list(nics)
+        self.limit = limit
+        self.windows = 0
+        self.overflow_drops = 0
+        self._baseline = {}
+
+    def install(self, wire, sim):
+        sim.call_at(max(self.start_us, sim.now), self._begin)
+        sim.call_at(max(self.end_us, sim.now), self._end)
+
+    def _begin(self):
+        self.windows += 1
+        for nic in self.nics:
+            self._baseline[nic] = nic.frames_dropped
+            nic.rx_limit_override = self.limit
+
+    def _end(self):
+        for nic in self.nics:
+            nic.rx_limit_override = None
+            self.overflow_drops += nic.frames_dropped - self._baseline.get(nic, 0)
+        self._baseline.clear()
+
+    def counters(self):
+        return {"windows": self.windows, "overflow_drops": self.overflow_drops}

@@ -53,6 +53,9 @@ class NIC:
         self._tx_ring = Channel(sim, capacity=model.tx_ring_frames, name=name + ".tx")
         self.rx_ring = Channel(sim, capacity=None, name=name + ".rx")
         self._rx_buffered = 0
+        #: When set (by fault injection, e.g. ``faults.RxOverflow``), the
+        #: receive ring behaves as if it only held this many frames.
+        self.rx_limit_override = None
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped = 0
@@ -89,7 +92,10 @@ class NIC:
         kernel's interrupt handler pays the CPU costs when it drains
         :attr:`rx_ring`.
         """
-        if self._rx_buffered >= self.model.rx_ring_frames:
+        limit = self.model.rx_ring_frames
+        if self.rx_limit_override is not None:
+            limit = self.rx_limit_override
+        if self._rx_buffered >= limit:
             self.frames_dropped += 1
             return
         self._rx_buffered += 1

@@ -4,8 +4,15 @@ The wire serializes transmissions (half-duplex shared medium) and delivers
 each frame to every attached NIC except the sender, after the frame's
 serialization delay.  Frame time matches the paper's measured network
 transit component: 0.8 microseconds per byte with a 64-byte minimum frame
-(51.2 us for a minimum frame, 1214 us for a full TCP segment)."""
+(51.2 us for a minimum frame, 1214 us for a full TCP segment).
 
+Fault injection hooks in between serialization and delivery: a
+:class:`~repro.faults.FaultPlan` sees every serialized frame as a
+``Transit`` and may drop, corrupt, delay, duplicate, or redirect it.  The
+legacy ``loss_rate``/``corrupt_rate`` scalars are kept as shims that build
+a two-stage plan."""
+
+from repro.faults import BernoulliLoss, Corrupt, FaultPlan
 from repro.sim.sync import Lock
 from repro.sim.process import Timeout
 
@@ -33,17 +40,21 @@ def frame_time(frame_len, us_per_byte=US_PER_BYTE_10MBIT):
 class EthernetWire:
     """A broadcast Ethernet segment connecting NICs.
 
-    ``loss_rate`` with an ``rng`` (any object with ``random()``) drops
-    that fraction of frames after serialization — fault injection for
-    exercising retransmission machinery end to end.  ``corrupt_rate``
-    flips one byte instead, exercising the checksum paths.
+    ``fault_plan`` runs every serialized frame through a composable fault
+    pipeline (see :mod:`repro.faults`).  The legacy ``loss_rate`` /
+    ``corrupt_rate`` scalars (with an ``rng`` — any object exposing
+    ``random()``) are shims that build an equivalent two-stage plan and
+    keep old call sites and benchmarks working unchanged.
     """
 
     def __init__(self, sim, us_per_byte=US_PER_BYTE_10MBIT, name="ether0",
                  loss_rate=0.0, corrupt_rate=0.0, rng=None,
-                 propagation_us=0.0):
+                 propagation_us=0.0, fault_plan=None):
         if (loss_rate or corrupt_rate) and rng is None:
             raise ValueError("fault injection requires an rng")
+        if fault_plan is not None and (loss_rate or corrupt_rate):
+            raise ValueError(
+                "pass either fault_plan or loss_rate/corrupt_rate, not both")
         self._sim = sim
         self.us_per_byte = us_per_byte
         #: One-way propagation delay added after serialization.  Zero for
@@ -58,8 +69,33 @@ class EthernetWire:
         self._medium = Lock(sim, name=name)
         self.frames_carried = 0
         self.bytes_carried = 0
-        self.frames_lost = 0
-        self.frames_corrupted = 0
+        self.fault_plan = None
+        if fault_plan is None and (loss_rate or corrupt_rate):
+            # Draw order matches the pre-pipeline code: one loss draw,
+            # then one corruption draw, from the caller's rng.
+            fault_plan = FaultPlan(
+                [BernoulliLoss(loss_rate), Corrupt(corrupt_rate)], rng=rng)
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
+
+    def set_fault_plan(self, plan):
+        """Install ``plan`` on this wire (stages get their install hook)."""
+        self.fault_plan = plan
+        if plan is not None:
+            plan.attach(self, self._sim)
+
+    @property
+    def frames_lost(self):
+        """Frames the fault pipeline dropped (all loss-like stages)."""
+        if self.fault_plan is None:
+            return 0
+        return self.fault_plan.total("dropped")
+
+    @property
+    def frames_corrupted(self):
+        if self.fault_plan is None:
+            return 0
+        return self.fault_plan.total("corrupted")
 
     def attach(self, nic):
         if nic in self._nics:
@@ -84,28 +120,34 @@ class EthernetWire:
             self._medium.release()
         self.frames_carried += 1
         self.bytes_carried += len(frame)
-        if self.loss_rate and self.rng.random() < self.loss_rate:
-            self.frames_lost += 1
+        if self.fault_plan is None:
+            self._schedule_delivery(frame, sender, self.propagation_us, None)
             return
-        if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
-            frame = self._flip_byte(frame)
-            self.frames_corrupted += 1
-        if self.propagation_us:
-            self._sim.call_later(self.propagation_us, self._deliver, frame,
-                                 sender)
-        else:
-            self._deliver(frame, sender)
+        for t in self.fault_plan.apply(frame, sender, self._sim.now):
+            self._schedule_delivery(t.frame, sender,
+                                    self.propagation_us + t.delay_us,
+                                    t.exclude or None)
 
-    def _deliver(self, frame, sender):
+    def _schedule_delivery(self, frame, sender, delay_us, exclude):
+        if delay_us:
+            self._sim.call_later(delay_us, self._deliver, frame, sender,
+                                 exclude)
+        else:
+            self._deliver(frame, sender, exclude)
+
+    def _deliver(self, frame, sender, exclude=None):
         for nic in self._nics:
-            if nic is not sender:
-                nic.frame_arrived(frame)
+            if nic is sender:
+                continue
+            if exclude is not None and nic in exclude:
+                continue
+            nic.frame_arrived(frame)
 
     def _flip_byte(self, frame):
-        mutated = bytearray(frame)
-        # Flip inside the payload region so the frame still demultiplexes
-        # (corrupting the Ethernet header would just look like a miss).
-        pos = 14 + int(self.rng.random() * max(1, len(mutated) - 14))
-        pos = min(pos, len(mutated) - 1)
-        mutated[pos] ^= 0xFF
-        return bytes(mutated)
+        """Legacy helper: flip one payload byte (no-op for payload-less
+        frames — corrupting the header would just look like a demux miss).
+        """
+        from repro.faults.stages import flip_payload_byte
+
+        mutated = flip_payload_byte(frame, self.rng)
+        return frame if mutated is None else mutated

@@ -11,6 +11,20 @@ charges are what make the UX server's ``entry/copyin`` and
 from repro.sim.sync import Channel
 
 
+class ServerCrashed(Exception):
+    """An RPC failed because the receiving server died.
+
+    Raised in the client when the server's RPC port goes down while the
+    call is queued or in flight, or when a call is attempted against a
+    port that is already down.  Clients that can retry (the proxy library,
+    the metastate cache) catch this and back off until the port reopens.
+    """
+
+    def __init__(self, reason="server crashed"):
+        super().__init__(reason)
+        self.reason = reason
+
+
 class Message:
     """One IPC message (an RPC request when it carries a reply event)."""
 
@@ -66,6 +80,72 @@ class RPCPort:
         self._requests = Channel(sim, name=name)
         self.name = name
         self.calls = 0
+        #: Crash-failure reason while the port is down, else None.
+        self._broken = None
+        #: Reply events for requests the server has dequeued but not yet
+        #: answered; failed en masse when the port goes down.
+        self._outstanding = set()
+        self._reopen_waiters = []
+        self._down_waiters = []
+        self.retried_calls = 0
+        self.replies_dropped = 0
+
+    @property
+    def broken(self):
+        return self._broken is not None
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def down(self, reason="server crashed"):
+        """The receiver died: fail every queued and in-flight request.
+
+        Clients waiting on replies see :class:`ServerCrashed`; subsequent
+        :meth:`call` attempts fail immediately until :meth:`up`.
+        """
+        self._broken = reason
+        waiters, self._down_waiters = self._down_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+        while True:
+            got, message = self._requests.try_get()
+            if not got:
+                break
+            if message.reply_event is not None and not message.reply_event.triggered:
+                message.reply_event.fail(ServerCrashed(reason))
+        for reply_event in list(self._outstanding):
+            if not reply_event.triggered:
+                reply_event.fail(ServerCrashed(reason))
+        self._outstanding.clear()
+
+    def up(self):
+        """The receiver is back: accept calls again, wake reopen waiters."""
+        self._broken = None
+        waiters, self._reopen_waiters = self._reopen_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def wait_reopen(self):
+        """An event that fires the next time the port comes (back) up."""
+        event = self._sim.event("%s.reopen" % self.name)
+        if not self.broken:
+            event.succeed()
+        else:
+            self._reopen_waiters.append(event)
+        return event
+
+    def wait_down(self):
+        """An event that fires the next time the port goes down (fires
+        immediately if it is already down)."""
+        event = self._sim.event("%s.down" % self.name)
+        if self.broken:
+            event.succeed()
+        else:
+            self._down_waiters.append(event)
+        return event
 
     # ------------------------------------------------------------------
     # Client side
@@ -79,6 +159,8 @@ class RPCPort:
         server replies with an exception instance, it is re-raised here —
         errors cross the RPC boundary like any BSD errno would.
         """
+        if self.broken:
+            raise ServerCrashed(self._broken)
         p = ctx.params
         ctx.crossings.server_rpcs += 1
         yield from ctx.charge_boundary_crossing(layer)
@@ -97,6 +179,49 @@ class RPCPort:
             raise result
         return result
 
+    def call_retrying(self, ctx, op, args=(), data=b"", layer="rpc",
+                      rng=None, base_us=10_000.0, max_us=2_000_000.0,
+                      limit=64, gate=None):
+        """RPC that survives server crashes: retry with backoff + jitter.
+
+        On :class:`ServerCrashed` the caller sleeps — exponential backoff
+        with full-ish jitter (``delay * (0.5 + rng())``), capped at
+        ``max_us`` — and, once the port reports open, tries again.  Any
+        other exception (a real errno from the server) propagates
+        immediately.  Note the at-least-once caveat: a crash can land
+        after the handler's side effects but before its reply, so retried
+        operations must be idempotent against rebuilt server state.
+
+        ``gate`` is a zero-argument callable returning an event to wait on
+        (or None) before each attempt.  The proxy layer uses it to hold
+        retries back until its re-registration RPC has rebuilt the
+        restarted server's records — otherwise a quick retry would hit a
+        server that does not know the session/app ids yet and turn a
+        recoverable crash into a hard error.
+        """
+        from repro.sim.process import Timeout
+
+        delay = base_us
+        for attempt in range(limit):
+            if self.broken:
+                yield self.wait_reopen()
+            if gate is not None:
+                event = gate()
+                if event is not None:
+                    yield event
+            try:
+                result = yield from self.call(ctx, op, args=args, data=data,
+                                              layer=layer)
+                return result
+            except ServerCrashed:
+                if attempt == limit - 1:
+                    raise
+                self.retried_calls += 1
+                jitter = rng.random() if rng is not None else 0.5
+                yield Timeout(delay * (0.5 + jitter))
+                delay = min(delay * 2, max_us)
+        raise ServerCrashed(self._broken or "retry limit exceeded")
+
     # ------------------------------------------------------------------
     # Server side
     # ------------------------------------------------------------------
@@ -104,6 +229,8 @@ class RPCPort:
     def serve(self, ctx, layer="rpc"):
         """Dequeue the next request, charging the server's receive costs."""
         message = yield from self._requests.get()
+        if message.reply_event is not None:
+            self._outstanding.add(message.reply_event)
         p = ctx.params
         yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if message.data_len:
@@ -111,7 +238,17 @@ class RPCPort:
         return message
 
     def reply(self, ctx, message, result=None, reply_len=0, layer="rpc"):
-        """Send the reply, charging the server's send costs."""
+        """Send the reply, charging the server's send costs.
+
+        If the reply event was already failed (the server crashed while
+        this handler ran and the client gave up on the call), the reply is
+        silently dropped — mirroring a send-once right that died with the
+        client's wait.
+        """
+        self._outstanding.discard(message.reply_event)
+        if message.reply_event.triggered:
+            self.replies_dropped += 1
+            return
         p = ctx.params
         yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if reply_len:

@@ -59,7 +59,9 @@ class RTTEstimator:
         """Fold in one RTT measurement (Karn's rule: callers must only
         measure un-retransmitted segments)."""
         self.samples += 1
-        rtt = rtt_ticks
+        # Clamp: a zero-tick measurement would seed srtt/rttvar at 0 on
+        # the first sample, wedging the estimator at non-positive values.
+        rtt = max(1, int(rtt_ticks))
         if self.srtt != 0:
             delta = rtt - 1 - (self.srtt >> self.SRTT_SHIFT)
             self.srtt += delta

@@ -17,11 +17,10 @@ queued data), and a packet-filter port; the server installs/removes the
 kernel packet filters on every transition.
 """
 
-from itertools import count
-
 from repro.filter.compile import compile_session_filter
 from repro.kernel.kernel import IPCDelivery
 from repro.net import ip
+from repro.net.ports import PortInUse
 from repro.net.tcp.header import TCPSegment, RST, ACK
 from repro.net.tcp.state import TCPState
 from repro.sim.events import any_of
@@ -99,11 +98,150 @@ class NetServer(UnixServer):
         self.stack.icmp_error_hook = self._icmp_error_upcall
         self.icmp_upcalls = 0
         self._records = {}
-        self._sid_seq = count(1)
+        self._next_sid = 1
         self.quarantined_ports = {}  # port -> release deadline
         self.migrations_out = 0
         self.migrations_in = 0
         self.aborted_for_death = 0
+        # Crash/restart state (the failure-isolation half of the paper's
+        # argument: the server can die and restart while library-resident
+        # sessions keep moving data).
+        self.alive = True
+        self.generation = 0
+        self.crashes = 0
+        self.sessions_restored = 0
+        self._background = {}  # sid -> graceful-close Process
+
+    def _alloc_sid(self):
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    # ==================================================================
+    # Crash and restart (failure isolation, the decomposition payoff)
+    # ==================================================================
+
+    def crash(self):
+        """Kill this server incarnation, abruptly.
+
+        Everything task-local dies: the RPC dispatcher and packet-input
+        loops, in-flight request handlers, background closes, the stack
+        (with its timers), the descriptor table, every session record, and
+        the kernel filters the *server* owns.  What survives is exactly
+        what lives elsewhere: per-session kernel filters pointing into
+        application libraries, the libraries' own stacks and cached
+        metastate, and the host-level ARP service.  Clients with calls in
+        flight see :class:`~repro.kernel.ipc.ServerCrashed`.
+        """
+        if not self.alive:
+            raise SocketError("crash() on a dead server")
+        self.alive = False
+        self.crashes += 1
+        self.rpc.down("netserver crashed")
+        for proc in (self._dispatch_proc, self._input_proc):
+            if proc.alive:
+                proc.interrupt("server crashed")
+        for proc in list(self._inflight.values()):
+            if proc.alive:
+                proc.interrupt("server crashed")
+        self._inflight.clear()
+        for proc in list(self._background.values()):
+            if proc.alive:
+                proc.interrupt("server crashed")
+        self._background.clear()
+        for handle in self._catch_all_handles:
+            self.host.kernel.remove_filter(handle)
+        self._catch_all_handles = []
+        for record in self._records.values():
+            if record.server_filter is not None:
+                self.host.kernel.remove_filter(record.server_filter)
+                record.server_filter = None
+        self._records = {}
+        self._apps = {}
+        self._app_status = {}
+        self.quarantined_ports = {}
+        # The dead incarnation's stack: stop its timers now.  The object
+        # stays referenced (netstat of a dead server is legal) until
+        # restart() replaces it.
+        self.stack.shutdown(interrupt=True)
+
+    def restart(self):
+        """Boot a fresh incarnation and reopen the RPC port.
+
+        The port namespace and session records start empty; surviving
+        libraries repopulate them through ``proxy_reregister`` RPCs (their
+        re-registration watchers fire as soon as the port reopens).
+        """
+        if self.alive:
+            raise SocketError("restart() on a live server")
+        self.generation += 1
+        self.alive = True
+        self._boot()
+        self.stack.icmp_error_hook = self._icmp_error_upcall
+        self.rpc.up()
+
+    def op_proxy_reregister(self, message):
+        """A surviving library reports itself and its live sessions after
+        a restart; the server rebuilds records, port bindings, kernel
+        filter bookkeeping, and listeners from the report.
+
+        Idempotent per session id (retried RPCs may replay it); listeners
+        are rebuilt in full (fresh engine session + server filter), while
+        app-managed sessions only need their record and port binding back
+        — their data path never left the application.
+        """
+        library, sessions = message.args
+        self.register_app(library)
+        restored = 0
+        # Listeners first, so an accepted child's shared port resolves to
+        # owns_port=False via the bind conflict below.
+        for snap in sorted(sessions, key=lambda s: not s.get("listener")):
+            sid = snap["sid"]
+            if sid in self._records:
+                continue  # a retry already rebuilt this one
+            self._next_sid = max(self._next_sid, sid + 1)
+            record = SessionRecord(sid, snap["kind"], library.app_id)
+            record.lport = snap["lport"]
+            record.remote = tuple(snap["remote"]) if snap.get("remote") else None
+            proto = "tcp" if snap["kind"] == SOCK_STREAM else "udp"
+            try:
+                self.stack.ports[proto].bind(self.host.ip, record.lport)
+            except PortInUse:
+                record.owns_port = False
+            self._records[sid] = record
+            if snap.get("listener"):
+                listener = self.stack.tcp_create(
+                    local_port=None,
+                    config=config_from_opts(self.stack, snap.get("opts")),
+                )
+                self.stack.ports["tcp"].release(
+                    self.host.ip, listener.conn.local[1]
+                )
+                listener.conn.local = (self.host.ip, record.lport)
+                listener.owns_port = False
+                self.stack.tcp_listen(listener, snap.get("backlog", 5))
+                record.server_session = listener
+                record.mode = "server"
+                # The rebuilt listener's filter is a port wildcard; it
+                # must sit BEHIND the surviving sessions' exact filters
+                # (demux is first-match), exactly where the original
+                # install order left it before the crash.  front=True
+                # here would steal live connections' inbound segments
+                # into the listener's stack.
+                record.server_filter = self._install_server_filter(
+                    ip.PROTO_TCP, record.lport, None, front=False
+                )
+            else:
+                record.mode = "app"
+                record.last_snd_nxt = snap.get("snd_nxt", 0)
+                record.last_rcv_nxt = snap.get("rcv_nxt", 0)
+                record.app_filter = snap.get("app_filter")
+            restored += 1
+        self.sessions_restored += restored
+        yield from self.ctx.charge(
+            Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
+        )
+        return restored, 0
 
     # ------------------------------------------------------------------
     # Application registration
@@ -138,7 +276,7 @@ class NetServer(UnixServer):
     # Filter plumbing
     # ------------------------------------------------------------------
 
-    def _install_server_filter(self, proto, lport, remote):
+    def _install_server_filter(self, proto, lport, remote, front=True):
         """Point a session's packets at the server's own input port."""
         rip, rport = remote if remote else (None, None)
         program = compile_session_filter(
@@ -149,7 +287,7 @@ class NetServer(UnixServer):
             IPCDelivery(self._input_port, remap_per_byte=REMAP_PER_BYTE),
             accounting=self.accounting,
             name="%s.srvfilter:%d" % (self.name, lport),
-            front=True,
+            front=front,
         )
 
     def _install_app_filter(self, record, proto, remote):
@@ -168,12 +306,16 @@ class NetServer(UnixServer):
             name="%s.appfilter:%d" % (self.name, record.lport),
             front=True,
         )
+        library.note_app_filter(record.sid, record.app_filter)
         return receiver
 
     def _remove_app_filter(self, record):
         if record.app_filter is not None:
             self.host.kernel.remove_filter(record.app_filter)
             record.app_filter = None
+            library = self._apps.get(record.app_id)
+            if library is not None:
+                library.forget_app_filter(record.sid)
 
     def _alloc_port(self, proto_name, port):
         self._expire_quarantine()
@@ -203,7 +345,7 @@ class NetServer(UnixServer):
         self._library(app_id)  # validate registration
         if kind not in (SOCK_STREAM, SOCK_DGRAM):
             raise SocketError("unsupported socket type %r" % kind)
-        sid = next(self._sid_seq)
+        sid = self._alloc_sid()
         self._records[sid] = SessionRecord(sid, kind, app_id)
         yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return sid, 0
@@ -306,7 +448,7 @@ class NetServer(UnixServer):
         if listener is None:
             raise SocketError("accept before listen")
         child = yield from self.stack.tcp_accept(listener)
-        child_sid = next(self._sid_seq)
+        child_sid = self._alloc_sid()
         child_record = SessionRecord(child_sid, SOCK_STREAM, app_id)
         child_record.lport = record.lport
         child_record.owns_port = False
@@ -357,7 +499,15 @@ class NetServer(UnixServer):
         """Clean shutdown: the session migrates back and the server runs
         the teardown handshake (FIN exchange, TIME_WAIT) on its own time."""
         sid, state = message.args
-        record = self._record(sid)
+        record = self._records.get(sid)
+        if record is None:
+            # The record died with a crashed incarnation and was never
+            # re-registered (an embryonic or post-fork server-managed
+            # session): the retried close has nothing left to tear down.
+            yield from self.ctx.charge(
+                Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
+            )
+            return None, 0
         if record.kind == SOCK_DGRAM:
             self._remove_app_filter(record)
             self._release_record_port(record, "udp")
@@ -374,10 +524,7 @@ class NetServer(UnixServer):
                 server_filter = self._install_server_filter(
                     ip.PROTO_TCP, record.lport, record.remote
                 )
-                self.host.sim.spawn(
-                    self._graceful_close(record, session, server_filter),
-                    name="%s.close%d" % (self.name, sid),
-                )
+                self._spawn_close(record, session, server_filter)
             else:
                 self._release_record_port(record, "tcp")
         elif record.mode == "server":
@@ -392,10 +539,7 @@ class NetServer(UnixServer):
                     server_filter, record.server_filter = (
                         record.server_filter, None
                     )
-                    self.host.sim.spawn(
-                        self._graceful_close(record, session, server_filter),
-                        name="%s.close%d" % (self.name, sid),
-                    )
+                    self._spawn_close(record, session, server_filter)
         record.mode = "closed"
         return None, 0
 
@@ -404,14 +548,25 @@ class NetServer(UnixServer):
             self.host.kernel.remove_filter(record.server_filter)
             record.server_filter = None
 
+    def _spawn_close(self, record, session, server_filter):
+        """Run a graceful close in the background, tracked so crash() can
+        interrupt it."""
+        self._background[record.sid] = self.host.sim.spawn(
+            self._graceful_close(record, session, server_filter),
+            name="%s.close%d" % (self.name, record.sid),
+        )
+
     def _graceful_close(self, record, session, server_filter):
         """Drive a returned session through FIN/TIME_WAIT, then clean up."""
-        yield from self.stack.tcp_close(session)
-        while session.conn.state != TCPState.CLOSED:
-            yield session.notify.wait()
-        if server_filter is not None:
-            self.host.kernel.remove_filter(server_filter)
-        self._release_record_port(record, "tcp")
+        try:
+            yield from self.stack.tcp_close(session)
+            while session.conn.state != TCPState.CLOSED:
+                yield session.notify.wait()
+            if server_filter is not None:
+                self.host.kernel.remove_filter(server_filter)
+            self._release_record_port(record, "tcp")
+        finally:
+            self._background.pop(record.sid, None)
 
     def _release_record_port(self, record, proto_name):
         if record.owns_port and record.lport is not None:

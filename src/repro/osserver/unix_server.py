@@ -15,6 +15,7 @@ from repro.hw.cpu import Priority
 from repro.kernel.ipc import MessagePort, RPCPort
 from repro.kernel.kernel import IPCDelivery
 from repro.net import ip
+from repro.sim.errors import Interrupt
 from repro.sim.events import any_of
 from repro.stack.context import ExecutionContext, light_locks, spl_locks
 from repro.stack.engine import NetEnv, NetworkStack
@@ -43,6 +44,8 @@ class UnixServer:
         sim = host.sim
         self.name = name or ("%s.ux" % host.name)
         self.accounting = accounting or LayerAccounting()
+        self._tcp_defaults = tcp_defaults
+        self._catch_all_filter = catch_all_filter
         locks = spl_locks(host.platform) if heavyweight_sync else light_locks(
             host.platform
         )
@@ -54,6 +57,21 @@ class UnixServer:
             accounting=self.accounting,
             name=self.name,
         )
+        # The RPC port outlives server incarnations: clients keep a send
+        # right across a crash; the port just reports broken until restart.
+        self.rpc = RPCPort(sim, name="%s.rpc" % self.name)
+        self._handler_seq = count()
+        #: message -> handler Process, for crash() to interrupt cleanly.
+        self._inflight = {}
+        self._catch_all_handles = []
+        self._boot()
+
+    def _boot(self):
+        """Build one server incarnation: stack, descriptor space, packet
+        input, and the two service loops.  Called at construction and
+        again on restart after a crash."""
+        host = self.host
+        sim = host.sim
         env = NetEnv(
             local_ip=host.ip,
             local_mac=host.mac,
@@ -66,22 +84,26 @@ class UnixServer:
             env,
             name=self.name,
             udp_send_copies=True,
-            tcp_defaults=tcp_defaults,
+            tcp_defaults=self._tcp_defaults,
         )
-        self.rpc = RPCPort(sim, name="%s.rpc" % self.name)
         self.fds = FDTable(first_fd=1000)  # server-side descriptor space
-        self._handler_seq = count()
         self._input_port = MessagePort(sim, name="%s.pktin" % self.name)
-        if catch_all_filter:
+        self._catch_all_handles = []
+        if self._catch_all_filter:
             for proto in (ip.PROTO_TCP, ip.PROTO_UDP, ip.PROTO_ICMP):
-                host.kernel.install_filter(
+                handle = host.kernel.install_filter(
                     compile_ip_protocol_filter(proto),
                     IPCDelivery(self._input_port, remap_per_byte=REMAP_PER_BYTE),
                     accounting=self.accounting,
                     name="%s.ipfilter" % self.name,
                 )
-        sim.spawn(self._input_loop(), name="%s.netin" % self.name)
-        sim.spawn(self._dispatcher(), name="%s.rpcd" % self.name)
+                self._catch_all_handles.append(handle)
+        self._input_proc = sim.spawn(
+            self._input_loop(), name="%s.netin" % self.name
+        )
+        self._dispatch_proc = sim.spawn(
+            self._dispatcher(), name="%s.rpcd" % self.name
+        )
 
     # ------------------------------------------------------------------
     # Network plumbing
@@ -106,23 +128,33 @@ class UnixServer:
     def _dispatcher(self):
         while True:
             message = yield from self.rpc.serve(self.ctx, layer=Layer.ENTRY_COPYIN)
-            self.host.sim.spawn(
+            proc = self.host.sim.spawn(
                 self._handle(message),
                 name="%s.h%d" % (self.name, next(self._handler_seq)),
             )
+            if proc.alive:
+                self._inflight[message] = proc
 
     def _handle(self, message):
         try:
-            handler = getattr(self, "op_" + message.op, None)
-            if handler is None:
-                raise SocketError("unknown server op %r" % message.op)
-            result, reply_len = yield from handler(message)
-        except Exception as exc:  # noqa: BLE001 - errno travels back by RPC
-            result, reply_len = exc, 0
-        yield from self.rpc.reply(
-            self.ctx, message, result, reply_len=reply_len,
-            layer=Layer.COPYOUT_EXIT,
-        )
+            try:
+                handler = getattr(self, "op_" + message.op, None)
+                if handler is None:
+                    raise SocketError("unknown server op %r" % message.op)
+                result, reply_len = yield from handler(message)
+            except Interrupt:
+                return  # server crashed mid-op; the client's wait already failed
+            except Exception as exc:  # noqa: BLE001 - errno travels back by RPC
+                result, reply_len = exc, 0
+            try:
+                yield from self.rpc.reply(
+                    self.ctx, message, result, reply_len=reply_len,
+                    layer=Layer.COPYOUT_EXIT,
+                )
+            except Interrupt:
+                return
+        finally:
+            self._inflight.pop(message, None)
 
     # ------------------------------------------------------------------
     # Socket operations (server side)

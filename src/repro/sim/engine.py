@@ -23,6 +23,7 @@ class Simulator:
         self._queue = []
         self._seq = count()
         self._live_processes = 0
+        self._live = set()
 
     @property
     def now(self):
@@ -78,12 +79,24 @@ class Simulator:
         """
         proc = Process(self, generator, name=name)
         self._live_processes += 1
+        self._live.add(proc)
         proc.add_callback(self._process_done)
         self.call_soon(proc._resume, None, proc._wait_token)
         return proc
 
-    def _process_done(self, _event):
+    def _process_done(self, event):
         self._live_processes -= 1
+        self._live.discard(event)
+
+    def _blocked_report(self):
+        """(name, waiting-on) pairs for every live process, for Deadlock
+        diagnostics.  Deterministic order: by process name then id."""
+        report = []
+        for proc in sorted(self._live, key=lambda p: (p.name, id(p))):
+            target = proc.waiting_on
+            report.append((proc.name or repr(proc),
+                           repr(target) if target is not None else "nothing"))
+        return report
 
     # ------------------------------------------------------------------
     # Running
@@ -123,7 +136,8 @@ class Simulator:
         if detect_deadlock and self._live_processes > 0:
             raise Deadlock(
                 "%d process(es) blocked with no scheduled events"
-                % self._live_processes
+                % self._live_processes,
+                blocked=self._blocked_report(),
             )
 
     def run_process(self, generator, until=None, name=""):
@@ -140,7 +154,8 @@ class Simulator:
                 break
             self.step()
         if not proc.triggered:
-            raise Deadlock("process %r did not finish" % (name or proc))
+            raise Deadlock("process %r did not finish" % (name or proc),
+                           blocked=self._blocked_report())
         if not proc.ok:
             raise proc.value
         return proc.value
@@ -155,7 +170,8 @@ class Simulator:
         results = []
         for proc in procs:
             if not proc.triggered:
-                raise Deadlock("process %r did not finish" % proc)
+                raise Deadlock("process %r did not finish" % proc,
+                               blocked=self._blocked_report())
             if not proc.ok:
                 raise proc.value
             results.append(proc.value)

@@ -20,4 +20,18 @@ class Interrupt(SimulationError):
 class Deadlock(SimulationError):
     """Raised by :meth:`Simulator.run` when processes remain but no events
     are scheduled, i.e. every live process waits on an event that can never
-    fire."""
+    fire.
+
+    ``blocked`` is a sequence of ``(process_name, waiting_on)`` pairs — one
+    per live process, naming the primitive it is blocked on — rendered into
+    the message so a hang is debuggable from the exception alone.
+    """
+
+    def __init__(self, message, blocked=()):
+        self.blocked = tuple(blocked)
+        if self.blocked:
+            message += "".join(
+                "\n  %s <- waiting on %s" % (name, waiting_on)
+                for name, waiting_on in self.blocked
+            )
+        super().__init__(message)

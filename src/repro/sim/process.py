@@ -34,7 +34,7 @@ class Timeout:
 class Process(Event):
     """A running coroutine.  Create via :meth:`Simulator.spawn`."""
 
-    __slots__ = ("_generator", "_wait_token", "_alive")
+    __slots__ = ("_generator", "_wait_token", "_alive", "waiting_on")
 
     def __init__(self, sim, generator, name=""):
         if not hasattr(generator, "send"):
@@ -46,6 +46,9 @@ class Process(Event):
         self._generator = generator
         self._wait_token = object()
         self._alive = True
+        #: The Event this process is currently blocked on (deadlock
+        #: diagnostics); None while runnable or finished.
+        self.waiting_on = None
 
     @property
     def alive(self):
@@ -70,6 +73,7 @@ class Process(Event):
         Event that fired, or a _Failure carrying an exception to throw."""
         if token is not self._wait_token or not self._alive:
             return  # stale wakeup (the process was interrupted meanwhile)
+        self.waiting_on = None
         try:
             if trigger is None:
                 target = self._generator.send(None)
@@ -91,8 +95,10 @@ class Process(Event):
         token = self._wait_token = object()
         if isinstance(target, Timeout):
             ev = self._sim.timeout(target.delay, target.value)
+            self.waiting_on = ev
             ev.add_callback(lambda e, t=token: self._resume(e, t))
         elif isinstance(target, Event):
+            self.waiting_on = target
             target.add_callback(lambda e, t=token: self._resume(e, t))
         else:
             self._finish_fail(
@@ -104,11 +110,13 @@ class Process(Event):
 
     def _finish_ok(self, value):
         self._alive = False
+        self.waiting_on = None
         if self._state == PENDING:
             self.succeed(value)
 
     def _finish_fail(self, exc):
         self._alive = False
+        self.waiting_on = None
         if self._state == PENDING:
             self.fail(exc)
         else:  # pragma: no cover - defensive

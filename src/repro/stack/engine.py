@@ -17,7 +17,7 @@ from repro.mem.mbuf import MbufStats
 from repro.net import arp, ethernet, icmp, ip, udp
 from repro.net.ports import PortManager
 from repro.net.tcp import TCPConfig, TCPConnection, TCPState
-from repro.net.tcp.header import TCPSegment
+from repro.net.tcp.header import SYN, TCPSegment
 from repro.net.tcp.output import rst_for
 from repro.net.tcp.tcb import TCPError
 from repro.net.tcp.timers import FAST_TICK_US, SLOW_TICK_US
@@ -168,6 +168,7 @@ class NetworkStack:
         self._shutdown = False
         self.unmatched_tcp = 0
         self.unmatched_udp = 0
+        self.ip_input_errors = 0
         #: 4-tuples of sessions migrated away from this stack.  Straggler
         #: segments for them are dropped silently (the peer retransmits
         #: into the session's new filter) instead of drawing a RST.
@@ -183,9 +184,16 @@ class NetworkStack:
         self.select_notify = Notifier(ctx.sim, "select")
         self._timer_proc = ctx.sim.spawn(self._timer_loop(), name="%s.timers" % name)
 
-    def shutdown(self):
-        """Stop the timer loop (ends the simulation's pending work)."""
+    def shutdown(self, interrupt=False):
+        """Stop the timer loop (ends the simulation's pending work).
+
+        With ``interrupt=True`` the timer process is torn down immediately
+        instead of on its next tick — the crash path, and the way a test
+        quiesces a stack without running out the clock.
+        """
         self._shutdown = True
+        if interrupt and self._timer_proc.alive:
+            self._timer_proc.interrupt("stack shutdown")
 
     # ==================================================================
     # TCP socket operations
@@ -360,6 +368,12 @@ class NetworkStack:
         self.clear_tombstone(conn.local[1], conn.remote)
         self._register(session)
         return session
+
+    def tcp_migration_snapshot(self, session):
+        """Sequence-space metadata a server records about a session that
+        lives in this (library) stack — what re-registration replays."""
+        conn = session.conn
+        return {"snd_nxt": conn.snd_nxt, "rcv_nxt": conn.rcv_nxt}
 
     def export_tcp_session(self, session):
         """Export a session's state and remove it from this stack.
@@ -547,7 +561,14 @@ class NetworkStack:
             return
         if packet is None:
             return  # fragment: incomplete
-        header, payload = ip.decapsulate(packet, verify=True)
+        try:
+            header, payload = ip.decapsulate(packet, verify=True)
+        except ValueError:
+            # A corrupted IP header must cost this one frame, not the
+            # input loop that carried it — every later frame on the
+            # session funnels through the same consumer process.
+            self.ip_input_errors += 1
+            return
         if header.proto == ip.PROTO_TCP:
             yield from self._tcp_input(header, payload)
         elif header.proto == ip.PROTO_UDP:
@@ -597,6 +618,11 @@ class NetworkStack:
             return None
         # A listener never processes segments itself: each SYN gets a
         # fresh child connection (BSD's sonewconn), bounded by the backlog.
+        # Anything else — say a straggler ACK from a connection that died
+        # with a crashed server incarnation — must NOT clone a child: the
+        # unmatched path answers it with a RST addressed from the segment.
+        if not seg.flags & SYN:
+            return None
         if len(listener.children) + len(listener.accept_queue) >= listener.backlog:
             return None  # backlog full: drop, the peer will retry
         # Children inherit the listener's buffer sizes and options, as

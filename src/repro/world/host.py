@@ -93,7 +93,10 @@ class ArpService:
     # ------------------------------------------------------------------
 
     def register_invalidation(self, callback):
-        self._invalidation_callbacks.append(callback)
+        # Idempotent: a library re-registering after a server restart must
+        # not end up invoked twice per invalidation.
+        if callback not in self._invalidation_callbacks:
+            self._invalidation_callbacks.append(callback)
 
     def _cache_changed(self, ip_addr):
         self.generation += 1

@@ -10,12 +10,13 @@ class Network:
     """An Ethernet segment with helper construction for hosts."""
 
     def __init__(self, sim=None, name="ether0", loss_rate=0.0,
-                 corrupt_rate=0.0, rng=None, propagation_us=0.0):
+                 corrupt_rate=0.0, rng=None, propagation_us=0.0,
+                 fault_plan=None):
         self.sim = sim if sim is not None else Simulator()
         self.wire = EthernetWire(
             self.sim, name=name, loss_rate=loss_rate,
             corrupt_rate=corrupt_rate, rng=rng,
-            propagation_us=propagation_us,
+            propagation_us=propagation_us, fault_plan=fault_plan,
         )
         self.hosts = []
 

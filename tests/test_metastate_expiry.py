@@ -1,0 +1,131 @@
+"""Cached metastate ages out (Section 3.3).
+
+The application-resident ARP cache is a *cache*, not a copy: entries
+carry the server's TTL, and an expired entry must force a fresh
+``meta_arp`` RPC on the next send — silently, without disturbing the
+data path.  Likewise the server-driven invalidation callback can fire
+mid-transfer and the stream must not notice beyond one extra RPC.
+"""
+
+import pytest
+
+from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.net.arp import DEFAULT_TTL_US
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+BOUND = 200_000_000
+
+
+@pytest.fixture
+def world():
+    return build_network("library-shm-ipf")
+
+
+def _udp_echo_once(net, api_a, api_b, port):
+    """One UDP round trip; returns the client metastate stats."""
+    ready = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_DGRAM)
+        yield from api_a.bind(fd, port)
+        ready.succeed()
+        data, src = yield from api_a.recvfrom(fd)
+        yield from api_a.sendto(fd, data, src)
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_DGRAM)
+        yield from api_b.connect(fd, (IP1, port))
+        yield from api_b.send(fd, b"ping")
+        yield from api_b.recv(fd, 10)
+        return dict(api_b.library.metastate.stats())
+
+    _s, stats = net.run_all(
+        [server(), client()], until=net.sim.now + BOUND
+    )
+    return stats
+
+
+def test_expired_arp_entry_forces_fresh_meta_rpc(world):
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+
+    stats = _udp_echo_once(net, api_a, api_b, 9600)
+    assert stats["arp_rpcs"] == 1  # first use: one miss, one RPC
+
+    # Sit idle past the entry's TTL.  Nothing invalidates anything: the
+    # entry rots in place.
+    net.sim.run(until=net.sim.now + DEFAULT_TTL_US + 1_000_000)
+    meta = api_b.library.metastate
+    assert meta.arp_cache.lookup(IP1) is None  # expired, counted a miss
+
+    # The next send path resolves again — through MetastateCache.resolve,
+    # since the library stack's NetEnv.resolve IS the metastate cache —
+    # and pays exactly one more RPC.
+    stats = _udp_echo_once(net, api_a, api_b, 9601)
+    assert stats["arp_rpcs"] == 2
+    assert stats["arp_misses"] >= 2
+
+
+def test_fresh_entry_still_hits_within_ttl(world):
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+
+    _udp_echo_once(net, api_a, api_b, 9602)
+    # Well within the TTL: the cached entry answers, no second RPC.
+    net.sim.run(until=net.sim.now + DEFAULT_TTL_US / 2)
+    stats = _udp_echo_once(net, api_a, api_b, 9603)
+    assert stats["arp_rpcs"] == 1
+    assert stats["arp_hits"] >= 1
+
+
+def test_invalidate_arp_mid_transfer_keeps_stream_intact(world):
+    """The server yanks the client's cached ARP entry in the middle of a
+    TCP stream: the send path re-resolves by RPC and the bytes land
+    exactly once, in order."""
+    net, pa, pb = world
+    api_a = pa.new_app()
+    api_b = pb.new_app()
+    nbytes = 50_000
+    payload = bytes((i * 11 + 5) % 256 for i in range(nbytes))
+    ready = net.sim.event()
+    started = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 9604)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        started.succeed()
+        data = yield from api_a.recv_exactly(cfd, nbytes)
+        yield from api_a.close(cfd)
+        yield from api_a.close(fd)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 9604))
+        yield from api_b.send_all(fd, payload)
+        yield from api_b.close(fd)
+        return dict(api_b.library.metastate.stats())
+
+    def saboteur():
+        yield started
+        yield net.sim.timeout(3_000)  # mid-stream
+        # The authoritative host-level invalidation: every registered
+        # library cache (including api_b's on the other host) drops the
+        # entry through its callback.
+        pb.host.arp.invalidate(IP1)
+
+    data, stats, _none = net.run_all(
+        [server(), client(), saboteur()], until=BOUND
+    )
+    assert data == payload
+    meta = api_b.library.metastate
+    assert meta.invalidations >= 1

@@ -1,0 +1,79 @@
+"""Property-based RTT estimator testing.
+
+The Jacobson/Karels estimator must be unconditionally safe: whatever
+interleaving of measurements and retransmission backoffs a connection
+lives through, the retransmission timeout it produces stays inside
+[TCPTV_MIN, TCPTV_REXMTMAX] and the internal fixed-point state never
+goes to zero or negative once a sample has been folded in.  (A wedged
+estimator is exactly the kind of bug fault injection surfaces hours
+into a soak; this pins it down in milliseconds.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.tcp.timers import (
+    BACKOFF,
+    TCP_MAXRXTSHIFT,
+    TCPTV_MIN,
+    TCPTV_REXMTMAX,
+    RTTEstimator,
+)
+
+# An estimator's life: RTT measurements (in slow ticks — 0 models a
+# same-tick ACK, the seed-to-zero trap) interleaved with backoffs.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), st.integers(0, 400)),
+        st.tuples(st.just("backoff"), st.none()),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops)
+def test_rto_always_bounded_and_state_positive(sequence):
+    est = RTTEstimator()
+    measured = False
+    for op, arg in sequence:
+        if op == "update":
+            est.update(arg)
+            measured = True
+        else:
+            dropped = est.backoff()
+            assert dropped == (est.rxtshift > TCP_MAXRXTSHIFT)
+        rto = est.rto_ticks()
+        assert TCPTV_MIN <= rto <= TCPTV_REXMTMAX
+        if measured:
+            # Once seeded, the fixed-point state must stay positive:
+            # srtt/rttvar at zero would collapse every future RTO to
+            # the floor and never grow with real variance again.
+            assert est.srtt > 0
+            assert est.rttvar > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 3), st.integers(0, 3))
+def test_zero_tick_measurements_do_not_wedge(first, second):
+    """The regression the max(1, rtt) clamp fixes: sub-tick ACKs on a
+    fast LAN must still leave a usable estimator."""
+    est = RTTEstimator()
+    est.update(first)
+    est.update(second)
+    assert est.srtt > 0 and est.rttvar > 0
+    assert TCPTV_MIN <= est.rto_ticks() <= TCPTV_REXMTMAX
+
+
+def test_backoff_walks_the_bsd_table():
+    est = RTTEstimator()
+    est.update(4)
+    base_rto = est.rto_ticks()
+    previous = 0
+    for shift in range(len(BACKOFF)):
+        rto = est.rto_ticks()
+        assert rto == min(max(TCPTV_MIN, base_rto * BACKOFF[shift]),
+                          TCPTV_REXMTMAX)
+        assert rto >= previous  # backoff is monotone up to the cap
+        previous = rto
+        est.backoff()

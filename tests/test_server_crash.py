@@ -1,0 +1,238 @@
+"""NetServer crash and restart: the failure-isolation half of the paper's
+decomposition argument.
+
+An OS-server crash must not take application-resident sessions with it:
+their kernel packet filters, library stacks, and cached metastate all
+live outside the server task.  What the crash does cost is every
+server-side service — and those RPCs must fail cleanly, retry with
+backoff, and succeed again once the restarted server has been repopulated
+by the libraries' re-registration reports."""
+
+import pytest
+
+from repro.core.sockets import SOCK_STREAM, SocketError
+from repro.kernel.ipc import ServerCrashed
+from repro.net.ports import PortInUse
+from repro.net.addr import ip_aton
+from repro.world.configs import build_network
+
+IP1 = ip_aton("10.0.0.1")
+BOUND = 1_200_000_000
+
+
+def test_crash_and_restart_guards():
+    net, pa, _pb = build_network("library-shm-ipf")
+    server = pa.server
+    with pytest.raises(SocketError):
+        server.restart()  # restart of a live server is a caller bug
+    server.crash()
+    assert not server.alive and server.crashes == 1
+    assert server.rpc.broken
+    with pytest.raises(SocketError):
+        server.crash()  # double crash likewise
+    server.restart()
+    assert server.alive and server.generation == 1
+    assert not server.rpc.broken
+
+
+def test_call_against_dead_server_raises_server_crashed():
+    net, pa, _pb = build_network("library-shm-ipf")
+    api = pa.new_app()
+    pa.server.crash()
+
+    def attempt():
+        # The raw (non-retrying) call path: immediate clean failure.
+        yield from api.rpc.call(api.ctx, "proxy_socket",
+                                args=(api.app_id, SOCK_STREAM))
+
+    with pytest.raises(ServerCrashed):
+        net.sim.run_process(attempt())
+
+
+def test_transfer_survives_crash_and_close_retries_until_restart():
+    """The headline scenario: the OS server dies mid-transfer and the
+    app-managed TCP session keeps moving data (its data path never touches
+    the server).  The eventual close RPC fails, retries with backoff, and
+    completes against the restarted server's rebuilt records."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app(name="srv-app")
+    api_b = pb.new_app(name="cli-app")
+    nbytes = 60_000
+    payload = bytes((i * 7 + 3) % 256 for i in range(nbytes))
+    ready = net.sim.event()
+    started = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7400)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        started.succeed()
+        data = yield from api_a.recv_exactly(cfd, nbytes)
+        yield from api_a.close(cfd)
+        yield from api_a.close(fd)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7400))
+        yield from api_b.send_all(fd, payload)
+        yield from api_b.close(fd)
+        return "sent"
+
+    def controller():
+        yield started
+        yield net.sim.timeout(5_000)  # mid-transfer
+        crash_at = net.sim.now
+        pa.server.crash()
+        yield net.sim.timeout(2_000_000)  # dead for two full seconds
+        pa.server.restart()
+        return crash_at
+
+    data, _sent, _crash_at = net.run_all(
+        [server(), client(), controller()], until=BOUND
+    )
+    assert data == payload  # byte-exact through the outage
+    server_obj = pa.server
+    assert server_obj.generation == 1 and server_obj.crashes == 1
+    assert api_a.reregistrations == 1
+    # The listener and the accepted data session were both re-reported.
+    assert server_obj.sessions_restored >= 2
+    # Everything settled: the port is serving again, nothing queued.
+    assert not server_obj.rpc.broken
+    # The host-level ARP service survived the crash with the server's
+    # own state gone.
+    assert len(pa.host.arp.cache) > 0
+
+
+def test_inflight_accept_retries_and_lands_on_rebuilt_listener():
+    """An accept RPC parked inside the server when it dies: the client
+    side sees the failure, backs off, waits for re-registration to rebuild
+    the listener, and the retried accept then completes a real handshake."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app(name="srv-app")
+    api_b = pb.new_app(name="cli-app")
+    ready = net.sim.event()
+    restarted = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7401)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, peer = yield from api_a.accept(fd)  # in flight at crash time
+        data = yield from api_a.recv_exactly(cfd, 5)
+        yield from api_a.close(cfd)
+        yield from api_a.close(fd)
+        return data
+
+    def controller():
+        yield ready
+        yield net.sim.timeout(50_000)
+        pa.server.crash()
+        yield net.sim.timeout(1_000_000)
+        pa.server.restart()
+        restarted.succeed()
+
+    def client():
+        yield restarted
+        yield net.sim.timeout(100_000)
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7401))
+        yield from api_b.send_all(fd, b"hello")
+        yield from api_b.close(fd)
+        return "sent"
+
+    data, _none, _sent = net.run_all(
+        [server(), controller(), client()], until=BOUND
+    )
+    assert data == b"hello"
+    assert pa.server.rpc.retried_calls > 0
+    assert api_a.reregistrations == 1
+    assert pa.server.sessions_restored >= 1  # the listener came back
+
+
+def test_port_namespace_is_rebuilt_from_reregistration():
+    """After restart the server's port table starts empty; re-registration
+    must re-claim every surviving port so later binds still conflict."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app(name="srv-app")
+    ready = net.sim.event()
+    done = net.sim.event()
+
+    def holder():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7402)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        yield done
+
+    def controller():
+        yield ready
+        pa.server.crash()
+        yield net.sim.timeout(500_000)
+        pa.server.restart()
+        yield net.sim.timeout(500_000)
+        # Re-registration has run by now: the port must be taken again.
+        fd2 = yield from api_a.socket(SOCK_STREAM)
+        try:
+            yield from api_a.bind(fd2, 7402)
+        except (SocketError, PortInUse):
+            done.succeed()
+            return "conflict"
+        done.succeed()
+        return "rebound"
+
+    _none, outcome = net.run_all([holder(), controller()], until=BOUND)
+    assert outcome == "conflict"
+    assert api_a.reregistrations == 1
+
+
+def test_second_crash_is_survivable_too():
+    """The watcher loops: two crash/restart cycles, two re-registrations,
+    and the session still closes cleanly at the end."""
+    net, pa, pb = build_network("library-shm-ipf")
+    api_a = pa.new_app(name="srv-app")
+    api_b = pb.new_app(name="cli-app")
+    nbytes = 30_000
+    payload = bytes((i * 13 + 1) % 256 for i in range(nbytes))
+    ready = net.sim.event()
+    started = net.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7403)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, _ = yield from api_a.accept(fd)
+        started.succeed()
+        data = yield from api_a.recv_exactly(cfd, nbytes)
+        yield from api_a.close(cfd)
+        yield from api_a.close(fd)
+        return data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (IP1, 7403))
+        yield from api_b.send_all(fd, payload)
+        yield from api_b.close(fd)
+        return "sent"
+
+    def controller():
+        yield started
+        for _ in range(2):
+            yield net.sim.timeout(3_000)
+            pa.server.crash()
+            yield net.sim.timeout(800_000)
+            pa.server.restart()
+            yield net.sim.timeout(800_000)
+
+    data, _sent, _none = net.run_all(
+        [server(), client(), controller()], until=BOUND
+    )
+    assert data == payload
+    assert pa.server.generation == 2 and pa.server.crashes == 2
+    assert api_a.reregistrations == 2
