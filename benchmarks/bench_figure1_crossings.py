@@ -9,50 +9,13 @@ operation for each placement.
 
 from conftest import once, show
 
+from repro.analysis.experiments import run_crossings
 from repro.analysis.tables import format_table
-from repro.core.sockets import SOCK_STREAM
-from repro.net.addr import ip_aton
-from repro.world.configs import build_network
-
-IP1 = ip_aton("10.0.0.1")
-ROUNDS = 20
-
-
-def measure(config_key):
-    """Crossings/copies/RPCs per send+recv round trip on the client."""
-    net, pa, pb = build_network(config_key)
-    api_a = pa.new_app()
-    api_b = pb.new_app()
-    ready = net.sim.event()
-
-    def server():
-        fd = yield from api_a.socket(SOCK_STREAM)
-        yield from api_a.bind(fd, 7900)
-        yield from api_a.listen(fd)
-        ready.succeed()
-        cfd, _ = yield from api_a.accept(fd)
-        for _ in range(ROUNDS):
-            data = yield from api_a.recv_exactly(cfd, 64)
-            yield from api_a.send_all(cfd, data)
-
-    def client():
-        yield ready
-        fd = yield from api_b.socket(SOCK_STREAM)
-        yield from api_b.connect(fd, (IP1, 7900))
-        crossings = api_b.ctx.crossings
-        crossings.reset()
-        for _ in range(ROUNDS):
-            yield from api_b.send_all(fd, b"m" * 64)
-            yield from api_b.recv_exactly(fd, 64)
-        return crossings.snapshot()
-
-    _s, snap = net.run_all([server(), client()], until=240_000_000)
-    return {k: v / ROUNDS for k, v in snap.items()}
 
 
 def test_figure1_crossing_counts(benchmark):
     def run():
-        return {key: measure(key) for key in
+        return {key: run_crossings(key) for key in
                 ("mach25", "ux", "library-shm-ipf")}
 
     results = once(benchmark, run)

@@ -7,88 +7,13 @@ observed mapping is printed next to the paper's.
 
 from conftest import once, show
 
+from repro.analysis.experiments import run_proxy_calls
 from repro.analysis.tables import format_table
 from repro.core.proxy import PROXY_CALL_MAP
-from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM
-from repro.net.addr import ip_aton
-from repro.world.configs import build_network
-
-IP1 = ip_aton("10.0.0.1")
-
-
-def trace_proxy_calls():
-    """Run every Table 1 call; record (call, server ops used)."""
-    net, pa, pb = build_network("library-shm-ipf")
-    api_a = pa.new_app()
-    api_b = pb.new_app()
-    rpc = pb.server.rpc
-    trace = {}
-
-    def record(name, before):
-        trace[name] = rpc.calls - before
-
-    ready = net.sim.event()
-
-    rpc_a = pa.server.rpc
-
-    def peer():
-        fd = yield from api_a.socket(SOCK_STREAM)
-        yield from api_a.bind(fd, 7800)
-        before = rpc_a.calls
-        yield from api_a.listen(fd)
-        trace["listen"] = rpc_a.calls - before
-        ready.succeed()
-        before = rpc_a.calls
-        cfd, _ = yield from api_a.accept(fd)
-        trace["accept"] = rpc_a.calls - before
-        data = yield from api_a.recv_exactly(cfd, 10)
-        yield from api_a.send_all(cfd, data)
-        yield from api_a.close(cfd)
-
-    def exercise():
-        yield ready
-        before = rpc.calls
-        fd = yield from api_b.socket(SOCK_STREAM)
-        record("socket", before)
-
-        before = rpc.calls
-        yield from api_b.bind(fd, 7801)
-        record("bind", before)
-
-        before = rpc.calls
-        yield from api_b.connect(fd, (IP1, 7800))
-        record("connect", before)
-
-        before = rpc.calls
-        yield from api_b.send_all(fd, b"0123456789")
-        yield from api_b.recv_exactly(fd, 10)
-        record("send/recv (all variants)", before)
-
-        before = rpc.calls
-        ufd = yield from api_b.socket(SOCK_DGRAM)
-        yield from api_b.bind(ufd, 7802)
-        _r, _w = yield from api_b.select([ufd], timeout=100_000)
-        record("select", before)
-
-        # close is traced before fork: afterwards the descriptors are
-        # shared with the child and the last-reference rule applies.
-        before = rpc.calls
-        yield from api_b.close(fd)
-        record("close", before)
-
-        before = rpc.calls
-        yield from api_b.fork()
-        record("fork", before)
-        return trace
-
-    peer_proc = net.sim.spawn(peer())
-    result = net.sim.run_process(exercise(), until=120_000_000)
-    assert peer_proc.alive or peer_proc.ok
-    return result
 
 
 def test_table1_proxy_interface(benchmark):
-    trace = once(benchmark, trace_proxy_calls)
+    trace = once(benchmark, run_proxy_calls)
     rows = []
     for call, server_export in PROXY_CALL_MAP.items():
         observed = trace.get(call)

@@ -12,6 +12,7 @@ appended to ``benchmarks/tables_output.txt`` so a plain
 
 import os
 import sys
+import time
 
 import pytest
 
@@ -19,9 +20,17 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "tables_output.txt")
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_results_file():
-    with open(RESULTS_PATH, "w") as handle:
-        handle.write("Regenerated tables (one block per benchmark run)\n")
+def _results_file_run_header():
+    # Append (never truncate): several pytest sessions may share one
+    # results file — e.g. a sharded CI run, or a rerun of a single
+    # benchmark after a full sweep — and each should keep the earlier
+    # blocks.  A per-run header separates the sessions.
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(
+            "%s\nBenchmark run started %s "
+            "(one block per benchmark)\n%s\n"
+            % ("#" * 72, time.strftime("%Y-%m-%d %H:%M:%S"), "#" * 72)
+        )
     yield
 
 

@@ -1,0 +1,239 @@
+"""Headless JSON bench runner and perf-regression comparator.
+
+Runs the paper's Table 1-4 and Figure 1 harnesses without pytest and
+emits one schema-versioned JSON document::
+
+    python -m repro.analysis.bench_json -o BENCH.json
+
+Because the simulator is deterministic, every metric except
+``wall_clock_seconds`` is exactly reproducible; any drift between two
+runs of the same code is a real behavioural change.  CI compares a fresh
+run against ``benchmarks/baseline.json`` and fails on >1% relative
+drift of any simulated metric::
+
+    python -m repro.analysis.bench_json --against BENCH.json \\
+        --compare benchmarks/baseline.json
+
+After an *intentional* performance change, regenerate the baseline and
+commit it:
+
+    PYTHONPATH=src python -m repro.analysis.bench_json -o benchmarks/baseline.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis.experiments import (
+    run_crossings,
+    run_proxy_calls,
+    run_table2,
+)
+from repro.analysis.tracing import run_traced_breakdown
+from repro.stack.instrument import Layer
+from repro.world.configs import DECSTATION_ROWS, GATEWAY_ROWS
+
+#: Bump on any structural change to the emitted document.
+SCHEMA = "repro-bench/1"
+
+#: Keys excluded from regression comparison (non-deterministic).
+VOLATILE_KEYS = ("wall_clock_seconds",)
+
+#: Default relative drift tolerance for the CI gate.
+DEFAULT_TOLERANCE = 0.01
+
+NEWAPI_KEYS = ("library-ipc", "library-shm", "library-shm-ipf",
+               "library-newapi-ipc", "library-newapi-shm",
+               "library-newapi-shm-ipf")
+
+TABLE4_SYSTEMS = ("mach25", "ux", "library-shm-ipf")
+TABLE4_SIZES = (1, 1472)
+FIGURE1_SYSTEMS = ("mach25", "ux", "library-shm-ipf")
+
+
+def _latency_entry(result):
+    return {
+        "mean_us": result.mean_rtt_us,
+        "p50_us": result.p50_rtt_us,
+        "p95_us": result.p95_rtt_us,
+        "p99_us": result.p99_rtt_us,
+    }
+
+
+def _table2_entry(row):
+    return {
+        "throughput_kbs": row.throughput_kbs,
+        "tcp_rtt": {str(s): _latency_entry(r)
+                    for s, r in sorted(row.tcp_latency.items())},
+        "udp_rtt": {str(s): _latency_entry(r)
+                    for s, r in sorted(row.udp_latency.items())},
+    }
+
+
+def collect(log=None):
+    """Run every harness; returns the BENCH document as a dict."""
+    def say(msg):
+        if log is not None:
+            log(msg)
+
+    wall_start = time.monotonic()
+    doc = {"schema": SCHEMA}
+
+    say("table 1: proxy interface ...")
+    doc["table1_proxy_rpcs"] = run_proxy_calls()
+
+    say("table 2: DECstation rows ...")
+    rows = run_table2(DECSTATION_ROWS, platform="decstation",
+                      total_bytes=1024 * 1024, rounds=40,
+                      tcp_sizes=(1, 1460), udp_sizes=(1, 1472))
+    doc["table2_decstation"] = {r.key: _table2_entry(r) for r in rows}
+
+    say("table 2: Gateway rows ...")
+    rows = run_table2(GATEWAY_ROWS, platform="gateway",
+                      total_bytes=512 * 1024, rounds=20,
+                      tcp_sizes=(1,), udp_sizes=(1,))
+    doc["table2_gateway"] = {r.key: _table2_entry(r) for r in rows}
+
+    say("table 3: NEWAPI rows ...")
+    rows = run_table2(NEWAPI_KEYS, platform="decstation",
+                      total_bytes=1024 * 1024, rounds=20,
+                      tcp_sizes=(1460,), udp_sizes=(1472,))
+    doc["table3_newapi"] = {r.key: _table2_entry(r) for r in rows}
+
+    say("table 4: trace-derived breakdowns ...")
+    table4 = {}
+    trace_stats = {"spans": 0, "traces": 0}
+    for key in TABLE4_SYSTEMS:
+        per_size = {}
+        for size in TABLE4_SIZES:
+            result = run_traced_breakdown(key, "udp", size, rounds=100)
+            per_size[str(size)] = {
+                layer: result.breakdown[layer]
+                for layer in Layer.SEND_PATH + Layer.RECEIVE_PATH
+            }
+            per_size[str(size)]["send_path_total"] = (
+                result.breakdown["send path total"])
+            per_size[str(size)]["receive_path_total"] = (
+                result.breakdown["receive path total"])
+            per_size[str(size)]["rtt"] = _latency_entry(result.rtt)
+            trace_stats["spans"] += result.spans
+            trace_stats["traces"] += result.traces
+        table4[key] = per_size
+    doc["table4_udp_us"] = table4
+    doc["trace_volume"] = trace_stats
+
+    say("figure 1: crossing counts ...")
+    doc["figure1"] = {key: run_crossings(key) for key in FIGURE1_SYSTEMS}
+
+    doc["wall_clock_seconds"] = round(time.monotonic() - wall_start, 3)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+
+def _walk(baseline, current, path, problems, tolerance):
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            problems.append("%s: expected object, got %r" % (path, current))
+            return
+        for key in baseline:
+            if key in VOLATILE_KEYS:
+                continue
+            if key not in current:
+                problems.append("%s.%s: missing from current run" % (path, key))
+                continue
+            _walk(baseline[key], current[key], "%s.%s" % (path, key),
+                  problems, tolerance)
+        for key in current:
+            if key not in baseline and key not in VOLATILE_KEYS:
+                problems.append("%s.%s: not in baseline" % (path, key))
+        return
+    if isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
+        if baseline != current:
+            problems.append("%s: baseline %r != current %r"
+                            % (path, baseline, current))
+        return
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        problems.append("%s: expected number, got %r" % (path, current))
+        return
+    denom = max(abs(baseline), 1e-12)
+    drift = abs(current - baseline) / denom
+    if drift > tolerance:
+        problems.append("%s: %.6g -> %.6g (%+.2f%% > ±%.0f%%)" % (
+            path, baseline, current, 100.0 * (current - baseline) / denom,
+            100.0 * tolerance))
+
+
+def compare(baseline, current, tolerance=DEFAULT_TOLERANCE):
+    """All simulated metrics of ``current`` within ``tolerance`` of
+    ``baseline``.  Returns a list of human-readable problem strings."""
+    problems = []
+    _walk(baseline, current, "$", problems, tolerance)
+    return problems
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench_json",
+        description="Run the paper's bench harnesses headless; emit/compare "
+                    "a schema-versioned BENCH.json.",
+    )
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="write the BENCH document here "
+                             "(default: stdout)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="compare against a baseline document; exit 1 "
+                             "on >tolerance drift of any simulated metric")
+    parser.add_argument("--against", metavar="BENCH",
+                        help="with --compare: use this previously generated "
+                             "document instead of running the harnesses")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative drift tolerance (default %(default)s)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress messages")
+    args = parser.parse_args(argv)
+
+    log = None if args.quiet else lambda m: print(m, file=sys.stderr)
+
+    if args.against:
+        with open(args.against) as handle:
+            doc = json.load(handle)
+    else:
+        doc = collect(log=log)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output, file=sys.stderr)
+    elif not args.compare:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        problems = compare(baseline, doc, tolerance=args.tolerance)
+        if problems:
+            print("PERF REGRESSION GATE FAILED: %d metric(s) drifted more "
+                  "than ±%.0f%% from %s"
+                  % (len(problems), 100.0 * args.tolerance, args.compare))
+            for problem in problems:
+                print("  " + problem)
+            print("\nThe simulator is deterministic, so any drift is a real "
+                  "behavioural change.\nIf it is intentional, regenerate the "
+                  "baseline and commit it:\n\n    PYTHONPATH=src python -m "
+                  "repro.analysis.bench_json -o benchmarks/baseline.json\n")
+            return 1
+        print("perf gate OK: all simulated metrics within ±%.0f%% of %s"
+              % (100.0 * args.tolerance, args.compare))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

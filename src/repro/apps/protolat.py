@@ -15,6 +15,15 @@ DEFAULT_PORT = 5002
 WARMUP_ROUNDS = 4
 
 
+def percentile(samples, p):
+    """Nearest-rank percentile of a sequence (p in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
 @dataclass
 class LatencyResult:
     """Outcome of one protolat run."""
@@ -25,10 +34,27 @@ class LatencyResult:
     mean_rtt_us: float
     min_rtt_us: float
     max_rtt_us: float
+    #: Per-round RTT samples (microseconds), warmup excluded.
+    samples: tuple = ()
 
     @property
     def mean_rtt_ms(self):
         return self.mean_rtt_us / 1000.0
+
+    def percentile_us(self, p):
+        return percentile(self.samples, p)
+
+    @property
+    def p50_rtt_us(self):
+        return self.percentile_us(50)
+
+    @property
+    def p95_rtt_us(self):
+        return self.percentile_us(95)
+
+    @property
+    def p99_rtt_us(self):
+        return self.percentile_us(99)
 
     def __str__(self):
         return "%s %dB: %.2f ms RTT (%d rounds)" % (
@@ -130,4 +156,5 @@ def protolat(network, client_placement, server_placement, proto="udp",
         mean_rtt_us=sum(samples) / len(samples),
         min_rtt_us=min(samples),
         max_rtt_us=max(samples),
+        samples=tuple(samples),
     )

@@ -24,6 +24,7 @@ from repro.mem.shm import SharedPacketRing
 from repro.stack.context import ExecutionContext, light_locks
 from repro.stack.engine import NetEnv, NetworkStack
 from repro.stack.instrument import Layer, LayerAccounting
+from repro.trace import adopt_trace, frame_trace
 from repro.core.metastate import MetastateCache
 
 PF_IPC = "ipc"
@@ -149,14 +150,18 @@ class ProtocolLibrary:
         """Library-SHM: drain every available packet per wakeup."""
         from repro.sim.errors import Interrupt
 
+        sim = self.host.sim
         try:
             while True:
                 batch = yield from ring.receive()
-                # One scheduling wakeup amortized over the whole train.
+                # One scheduling wakeup amortized over the whole train;
+                # attribute it to the train's first packet.
+                adopt_trace(sim, frame_trace(batch[0]) if batch else None)
                 yield from self.ctx.charge(
                     Layer.KERNEL_COPYOUT, self.ctx.params.sched_dispatch
                 )
                 for frame in batch:
+                    adopt_trace(sim, frame_trace(frame))
                     yield from self.stack.input_frame(frame)
         except Interrupt:
             return

@@ -33,6 +33,7 @@ from repro.core.sockets import (
     SocketError,
 )
 from repro.osserver.netserver import config_from_opts
+from repro.trace import begin_send_trace
 
 #: The Table 1 mapping, introspectable (bench_table1 regenerates the
 #: table from this and from live call traces).
@@ -290,6 +291,8 @@ class ProxySocketAPI(SocketAPI):
 
     def send(self, fd, data):
         psock = self.fds.get(fd).payload
+        # Socket entry: each outbound packet starts its own trace.
+        begin_send_trace(self.ctx, self.library.host.name, len(data))
         yield from self._proxy_entry()
         if psock.mode == "app":
             if psock.kind == SOCK_DGRAM:
@@ -333,6 +336,7 @@ class ProxySocketAPI(SocketAPI):
 
     def sendto(self, fd, data, addr):
         psock = self.fds.get(fd).payload
+        begin_send_trace(self.ctx, self.library.host.name, len(data))
         yield from self._proxy_entry()
         if psock.mode == "embryonic":
             # BSD auto-binds: the session gets an ephemeral port and

@@ -17,6 +17,7 @@ that cost difference is the whole story of the Gateway's numbers."""
 from dataclasses import dataclass
 
 from repro.sim.sync import Channel
+from repro.trace import TaggedFrame, current_trace, frame_trace
 
 
 @dataclass(frozen=True)
@@ -71,8 +72,14 @@ class NIC:
 
         Generator: blocks if the transmit ring is full, which back-pressures
         the sending protocol under load.
+
+        The frame inherits the sending process's packet-trace id (if any),
+        so the trace follows the bytes through the wire to the receiver.
         """
-        yield from self._tx_ring.put(bytes(frame))
+        trace_id = frame_trace(frame)
+        if trace_id is None:
+            trace_id = current_trace(self._sim)
+        yield from self._tx_ring.put(TaggedFrame.tag(bytes(frame), trace_id))
 
     def _transmitter(self):
         """Device process: drain the TX ring onto the wire, in order."""

@@ -15,6 +15,7 @@ a two-stage plan."""
 from repro.faults import BernoulliLoss, Corrupt, FaultPlan
 from repro.sim.sync import Lock
 from repro.sim.process import Timeout
+from repro.trace import TaggedFrame, frame_trace
 
 #: 10 Mb/s == 0.8 microseconds per byte.
 US_PER_BYTE_10MBIT = 0.8
@@ -123,8 +124,14 @@ class EthernetWire:
         if self.fault_plan is None:
             self._schedule_delivery(frame, sender, self.propagation_us, None)
             return
+        trace_id = frame_trace(frame)
         for t in self.fault_plan.apply(frame, sender, self._sim.now):
-            self._schedule_delivery(t.frame, sender,
+            # Fault stages may rebuild the frame (corruption copies the
+            # bytes); the packet keeps its trace id regardless.
+            delivered = t.frame
+            if frame_trace(delivered) is None:
+                delivered = TaggedFrame.tag(delivered, trace_id)
+            self._schedule_delivery(delivered, sender,
                                     self.propagation_us + t.delay_us,
                                     t.exclude or None)
 

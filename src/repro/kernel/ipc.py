@@ -9,6 +9,7 @@ charges are what make the UX server's ``entry/copyin`` and
 """
 
 from repro.sim.sync import Channel
+from repro.trace import adopt_trace, current_trace
 
 
 class ServerCrashed(Exception):
@@ -28,14 +29,18 @@ class ServerCrashed(Exception):
 class Message:
     """One IPC message (an RPC request when it carries a reply event)."""
 
-    __slots__ = ("op", "args", "data", "data_len", "reply_event")
+    __slots__ = ("op", "args", "data", "data_len", "reply_event", "trace")
 
-    def __init__(self, op, args=(), data=b"", data_len=None, reply_event=None):
+    def __init__(self, op, args=(), data=b"", data_len=None, reply_event=None,
+                 trace=None):
         self.op = op
         self.args = args
         self.data = data
         self.data_len = data_len if data_len is not None else len(data)
         self.reply_event = reply_event
+        #: Packet-trace id this message is part of (see :mod:`repro.trace`);
+        #: stamped at send time, adopted by the receiving process.
+        self.trace = trace
 
     def __repr__(self):
         return "<Message %s len=%d>" % (self.op, self.data_len)
@@ -58,6 +63,8 @@ class MessagePort:
     def send(self, ctx, layer, message):
         """Kernel/sender side: fixed message cost; payload copy is charged
         separately by the caller (it depends on source memory type)."""
+        if message.trace is None:
+            message.trace = current_trace(self._sim)
         yield from ctx.charge(layer, ctx.params.mach_msg)
         self._queue.try_put(message)
         self.messages += 1
@@ -65,6 +72,9 @@ class MessagePort:
     def receive(self, ctx, layer):
         """Receiver side: one boundary crossing plus the message cost."""
         message = yield from self._queue.get()
+        # The receiving process picks up the packet's trace, so its
+        # copyout/processing charges land on the right timeline.
+        adopt_trace(self._sim, message.trace)
         yield from ctx.charge(layer, ctx.params.mach_msg + ctx.params.trap_return)
         return message
 
@@ -168,10 +178,16 @@ class RPCPort:
         if data:
             yield from ctx.charge_copy(layer, len(data))
         reply_event = self._sim.event("%s.reply" % self.name)
-        message = Message(op, args=args, data=bytes(data), reply_event=reply_event)
+        message = Message(op, args=args, data=bytes(data),
+                          reply_event=reply_event,
+                          trace=current_trace(self._sim))
         self._requests.try_put(message)
         self.calls += 1
-        result, reply_len = yield reply_event
+        result, reply_len, reply_trace = yield reply_event
+        if reply_trace is not None:
+            # e.g. a recv RPC: the reply carries the received packet's
+            # trace, so the client's copyout charges join that timeline.
+            adopt_trace(self._sim, reply_trace)
         yield from ctx.charge(layer, p.mach_msg + p.trap_return)
         if reply_len:
             yield from ctx.charge_copy(layer, reply_len)
@@ -231,6 +247,7 @@ class RPCPort:
         message = yield from self._requests.get()
         if message.reply_event is not None:
             self._outstanding.add(message.reply_event)
+        adopt_trace(self._sim, message.trace)
         p = ctx.params
         yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if message.data_len:
@@ -253,7 +270,8 @@ class RPCPort:
         yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if reply_len:
             yield from ctx.charge_copy(layer, reply_len)
-        message.reply_event.succeed((result, reply_len))
+        message.reply_event.succeed(
+            (result, reply_len, current_trace(self._sim)))
 
     def pending(self):
         return len(self._requests)

@@ -19,6 +19,7 @@ from repro.filter.vm import FilterMachine
 from repro.hw.cpu import Priority
 from repro.stack.context import ExecutionContext
 from repro.stack.instrument import Layer
+from repro.trace import frame_trace
 
 
 class QueueDelivery:
@@ -117,13 +118,18 @@ class FilterHandle:
 class Kernel:
     """The per-host kernel."""
 
-    def __init__(self, sim, cpu, nic, integrated_filter=False, name="kernel"):
+    def __init__(self, sim, cpu, nic, integrated_filter=False, name="kernel",
+                 tracer=None):
         self.sim = sim
         self.cpu = cpu
         self.params = cpu.params
         self.nic = nic
         self.integrated_filter = integrated_filter
         self.name = name
+        #: Optional :class:`~repro.trace.TraceRecorder`; when enabled,
+        #: the interrupt loop adopts each frame's trace id (or starts a
+        #: fresh "recv" trace for untagged arrivals).
+        self.tracer = tracer
         self._filters = []
         self._vm = FilterMachine()
         self.ctx = ExecutionContext(
@@ -183,6 +189,12 @@ class Kernel:
         p = self.params
         while True:
             frame = yield from self.nic.rx_ring.get()
+            if self.tracer is not None:
+                trace_id = frame_trace(frame)
+                if trace_id is None and self.tracer.enabled:
+                    self.tracer.begin("recv", host=self.name, size=len(frame))
+                else:
+                    self.tracer.adopt(trace_id)
             pre_cost = p.interrupt_entry
             yield from self.ctx.charge(Layer.DEVICE_READ, p.interrupt_entry)
             if not self.integrated_filter:

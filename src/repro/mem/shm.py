@@ -46,7 +46,9 @@ class SharedPacketRing:
         if len(self._packets) >= self.slots:
             self.packets_dropped += 1
             return False
-        self._packets.append(bytes(packet))
+        # Keep the packet object as-is: frames are immutable bytes (often
+        # a trace-tagged subclass) and a bytes() copy would strip the tag.
+        self._packets.append(packet)
         self._cond.notify()
         return True
 

@@ -15,6 +15,7 @@ from repro.sim.sync import Channel
 from repro.stack.context import ExecutionContext, light_locks
 from repro.stack.engine import NetEnv, NetworkStack
 from repro.stack.instrument import Layer, LayerAccounting
+from repro.trace import adopt_trace, begin_send_trace, frame_trace
 from repro.core.sockets import (
     SOCK_DGRAM,
     SOCK_STREAM,
@@ -69,8 +70,10 @@ class InKernelNetwork:
         yield from self.host.kernel.netif_send(ctx, frame, wired=True)
 
     def _input_loop(self):
+        sim = self.host.sim
         while True:
             frame = yield from self._input.get()
+            adopt_trace(sim, frame_trace(frame))
             yield from self.stack.input_frame(frame)
 
     def sockets(self):
@@ -167,6 +170,7 @@ class KernelSocketAPI(SocketAPI):
 
     def send(self, fd, data):
         desc = self.fds.get(fd)
+        begin_send_trace(self.ctx, self.network.host.name, len(data))
         yield from self._enter(Layer.ENTRY_COPYIN)
         if desc.kind == SOCK_DGRAM:
             yield from self.stack.udp_send(desc.payload, data)
@@ -193,6 +197,7 @@ class KernelSocketAPI(SocketAPI):
 
     def sendto(self, fd, data, addr):
         desc = self.fds.get(fd)
+        begin_send_trace(self.ctx, self.network.host.name, len(data))
         yield from self._enter(Layer.ENTRY_COPYIN)
         yield from self.stack.udp_send(self._udp_session(desc), data, dst=addr)
         yield from self._exit(Layer.ENTRY_COPYIN)

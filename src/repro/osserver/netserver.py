@@ -26,6 +26,7 @@ from repro.net.tcp.state import TCPState
 from repro.sim.events import any_of
 from repro.stack.engine import Notifier
 from repro.stack.instrument import Layer
+from repro.trace import adopt_trace, begin_send_trace
 from repro.core.sockets import SOCK_DGRAM, SOCK_STREAM, SocketError
 from repro.osserver.unix_server import REMAP_PER_BYTE, UnixServer
 
@@ -712,4 +713,9 @@ class NetServer(UnixServer):
             flags=RST | ACK,
         )
         packed = rst.pack(self.host.ip, record.remote[0])
+        # The RST is a server-originated packet: shed whatever trace
+        # context this cleanup process inherited and give it a timeline
+        # of its own.
+        adopt_trace(self.host.sim, None)
+        begin_send_trace(self.ctx, self.host.name, len(packed))
         yield from self.stack.ip_output(ip.PROTO_TCP, record.remote[0], packed)

@@ -20,6 +20,7 @@ from repro.sim.events import any_of
 from repro.stack.context import ExecutionContext, light_locks, spl_locks
 from repro.stack.engine import NetEnv, NetworkStack
 from repro.stack.instrument import Layer, LayerAccounting
+from repro.trace import adopt_trace, begin_send_trace
 from repro.core.sockets import (
     SOCK_DGRAM,
     SOCK_STREAM,
@@ -136,6 +137,9 @@ class UnixServer:
                 self._inflight[message] = proc
 
     def _handle(self, message):
+        # The handler runs in its own process; pick up the request's
+        # packet trace so server-side charges join the right timeline.
+        adopt_trace(self.host.sim, message.trace)
         try:
             try:
                 handler = getattr(self, "op_" + message.op, None)
@@ -383,6 +387,7 @@ class ServerSocketAPI(SocketAPI):
 
     def send(self, fd, data):
         desc = self.fds.get(fd)
+        begin_send_trace(self.ctx, self.server.host.name, len(data))
         n = yield from self._call("send", desc.payload, data=bytes(data))
         return n
 
@@ -395,6 +400,7 @@ class ServerSocketAPI(SocketAPI):
 
     def sendto(self, fd, data, addr):
         desc = self.fds.get(fd)
+        begin_send_trace(self.ctx, self.server.host.name, len(data))
         n = yield from self._call("sendto", desc.payload, addr, data=bytes(data))
         return n
 

@@ -24,6 +24,10 @@ class Simulator:
         self._seq = count()
         self._live_processes = 0
         self._live = set()
+        #: The :class:`Process` whose generator frame is currently being
+        #: advanced, or None between resumes.  Synchronous callbacks (CPU
+        #: accounting, tracing) read this to attribute work to a process.
+        self.current = None
 
     @property
     def now(self):

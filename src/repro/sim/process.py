@@ -34,7 +34,7 @@ class Timeout:
 class Process(Event):
     """A running coroutine.  Create via :meth:`Simulator.spawn`."""
 
-    __slots__ = ("_generator", "_wait_token", "_alive", "waiting_on")
+    __slots__ = ("_generator", "_wait_token", "_alive", "waiting_on", "trace_ctx")
 
     def __init__(self, sim, generator, name=""):
         if not hasattr(generator, "send"):
@@ -49,6 +49,9 @@ class Process(Event):
         #: The Event this process is currently blocked on (deadlock
         #: diagnostics); None while runnable or finished.
         self.waiting_on = None
+        #: Trace id of the packet this process is currently working on
+        #: (see :mod:`repro.trace`); None when no trace is active.
+        self.trace_ctx = None
 
     @property
     def alive(self):
@@ -74,6 +77,7 @@ class Process(Event):
         if token is not self._wait_token or not self._alive:
             return  # stale wakeup (the process was interrupted meanwhile)
         self.waiting_on = None
+        self._sim.current = self
         try:
             if trigger is None:
                 target = self._generator.send(None)
@@ -89,6 +93,8 @@ class Process(Event):
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
             self._finish_fail(exc)
             return
+        finally:
+            self._sim.current = None
         self._wait_for(target)
 
     def _wait_for(self, target):

@@ -23,6 +23,7 @@ from repro.net.tcp.tcb import TCPError
 from repro.net.tcp.timers import FAST_TICK_US, SLOW_TICK_US
 from repro.sim.process import Timeout
 from repro.stack.instrument import Layer
+from repro.trace import adopt_trace, current_trace
 
 
 class SocketTimeout(Exception):
@@ -88,6 +89,9 @@ class TCPSession:
         self.parent = None
         self.selected = False  # a select() is outstanding on this session
         self.recv_timeout_us = None  # SO_RCVTIMEO, None = block forever
+        #: Trace id of the most recent inbound segment (per-packet
+        #: tracing); the receiver's copyout adopts it.
+        self.last_rx_trace = None
         #: Whether closing this session releases its local port binding
         #: (false for accepted children, which share the listener's port,
         #: and for sessions migrated in from another stack).
@@ -114,7 +118,7 @@ class UDPSession:
         self.stack = stack
         self.local = local  # (ip, port)
         self.remote = None
-        self.queue = []  # [(src_addr, payload)]
+        self.queue = []  # [(src_addr, payload, trace_id)]
         self.queued_bytes = 0
         self.hiwat = hiwat
         self.notify = Notifier(stack.ctx.sim, "udp.notify")
@@ -123,18 +127,18 @@ class UDPSession:
         self.recv_timeout_us = None  # SO_RCVTIMEO, None = block forever
         self.error = None  # an exception instance (ICMP error delivery)
 
-    def enqueue(self, src_addr, payload):
+    def enqueue(self, src_addr, payload, trace=None):
         if self.queued_bytes + len(payload) > self.hiwat:
             self.drops += 1
             return False
-        self.queue.append((src_addr, payload))
+        self.queue.append((src_addr, payload, trace))
         self.queued_bytes += len(payload)
         return True
 
     def dequeue(self):
-        src, payload = self.queue.pop(0)
+        src, payload, trace = self.queue.pop(0)
         self.queued_bytes -= len(payload)
-        return src, payload
+        return src, payload, trace
 
     def __repr__(self):
         return "<UDPSession %s:%d>" % self.local
@@ -247,11 +251,21 @@ class NetworkStack:
                 raise TCPError("accept on non-listening session")
             yield listener.notify.wait()
 
+    def _trace_send_entry(self, size):
+        """Start a "send" trace for callers that entered the stack
+        directly (placement socket APIs begin one at their own entry, in
+        which case this is a no-op)."""
+        tracer = getattr(self.ctx.accounting, "tracer", None)
+        if (tracer is not None and tracer.enabled
+                and tracer.current() is None):
+            tracer.begin("send", host=self.name, size=size)
+
     def tcp_send(self, session, data):
         """Blocking send of all of ``data`` (charges the copyin path)."""
         p = self.ctx.params
         data = bytes(data)
         sent = 0
+        self._trace_send_entry(len(data))
         yield from self.ctx.charge_lock(Layer.ENTRY_COPYIN)
         while sent < len(data):
             taken = session.conn.send(data[sent:])
@@ -281,6 +295,9 @@ class NetworkStack:
         while True:
             conn = session.conn
             if conn.receivable():
+                if session.last_rx_trace is not None:
+                    # Join the inbound segment's timeline for the copyout.
+                    adopt_trace(self.ctx.sim, session.last_rx_trace)
                 data = conn.receive(max_bytes)
                 if self.shared_buffers:
                     yield from self.ctx.charge(
@@ -429,6 +446,7 @@ class NetworkStack:
             dst = session.remote
         if dst is None:
             raise ValueError("unconnected UDP send needs a destination")
+        self._trace_send_entry(len(data))
         if self.udp_send_copies and not self.shared_buffers:
             yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.socket_layer)
             yield from self.ctx.charge_copy(Layer.ENTRY_COPYIN, len(data))
@@ -461,7 +479,9 @@ class NetworkStack:
                 error, session.error = session.error, None
                 raise error
             yield from self._wait_or_timeout(session.notify, deadline)
-        src, payload = session.dequeue()
+        src, payload, rx_trace = session.dequeue()
+        if rx_trace is not None:
+            adopt_trace(self.ctx.sim, rx_trace)
         if self.shared_buffers:
             yield from self.ctx.charge(Layer.COPYOUT_EXIT, self.ctx.params.proc_call)
         else:
@@ -599,6 +619,7 @@ class NetworkStack:
             return
         conn = session.conn
         was_listener = conn.state == TCPState.LISTEN
+        session.last_rx_trace = current_trace(self.ctx.sim)
         conn.segment_arrives(seg, src_ip=header.src)
         if was_listener and conn.state == TCPState.SYN_RECEIVED:
             self._register(session)
@@ -679,7 +700,8 @@ class NetworkStack:
             if packet is not None:
                 yield from self._send_port_unreachable(header, packet)
             return
-        session.enqueue((header.src, uh.src_port), data)
+        session.enqueue((header.src, uh.src_port), data,
+                        trace=current_trace(self.ctx.sim))
         yield from self._wake(session.notify, session.selected)
 
     # ==================================================================

@@ -43,18 +43,29 @@ class Layer:
 
 
 class LayerAccounting:
-    """Accumulates simulated CPU time per protocol layer."""
+    """Accumulates simulated CPU time per protocol layer.
+
+    A ledger can additionally mirror every charge into a per-packet
+    :class:`~repro.trace.recorder.TraceRecorder` by setting ``tracer``
+    (and an ``owner`` label identifying this ledger in the span stream).
+    The hook lives here — not in :class:`ExecutionContext` — because some
+    kernel paths attribute costs by calling :meth:`add` directly.
+    """
 
     def __init__(self):
         self.totals = {}
         self.counts = {}
         self.enabled = True
+        self.tracer = None
+        self.owner = ""
 
     def add(self, layer, cost):
         if not self.enabled:
             return
         self.totals[layer] = self.totals.get(layer, 0.0) + cost
         self.counts[layer] = self.counts.get(layer, 0) + 1
+        if self.tracer is not None:
+            self.tracer.record(self.owner, layer, cost)
 
     def total(self, layer):
         return self.totals.get(layer, 0.0)

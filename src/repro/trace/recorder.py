@@ -1,0 +1,238 @@
+"""Per-packet event tracing.
+
+The paper's central evidence is a *breakdown*: Table 4 attributes every
+microsecond of a packet's life to a named layer, measured with a
+high-resolution timer.  :mod:`repro.stack.instrument` keeps the aggregate
+ledgers; this module adds the per-packet dimension.  Every simulated CPU
+charge emits a :class:`Span` ``(trace_id, owner, layer, start, cost)``
+into a bounded ring attached to the :class:`~repro.world.network.Network`,
+and a packet's spans — from socket entry, across the proxy/IPC boundary,
+through the kernel, NIC and wire, to the far side's copyout — share one
+trace id.
+
+Design rules:
+
+* **Disabled by default.**  A recorder that has not been
+  :meth:`~TraceRecorder.enable`\\ d records nothing and adds no spans.
+* **Chronological ring.**  Spans live in one bounded deque in record
+  order.  Folding the ring per (owner, layer) replays the exact float
+  additions the :class:`~repro.stack.instrument.LayerAccounting` ledgers
+  performed, so the trace-derived breakdown agrees with the instrument
+  accounting tick for tick (a standing invariant test).
+* **Exact counters.**  ``spans_recorded`` / ``traces_started`` keep
+  counting past eviction, so bounding never silently loses statistics.
+
+Attribution rides on the process: :meth:`TraceRecorder.begin` and
+:meth:`~TraceRecorder.adopt` stamp the *currently running* simulation
+process (``sim.current.trace_ctx``), and the CPU's accounting callback —
+which always runs inside the charging process's generator frame — reads
+it back at :meth:`~TraceRecorder.record` time.
+"""
+
+from collections import OrderedDict, deque
+
+DEFAULT_CAPACITY = 65536
+DEFAULT_MAX_TRACES = 8192
+
+
+class Span:
+    """One CPU charge attributed to a layer (and maybe a packet trace)."""
+
+    __slots__ = ("trace_id", "owner", "layer", "start", "cost")
+
+    def __init__(self, trace_id, owner, layer, start, cost):
+        self.trace_id = trace_id
+        self.owner = owner
+        self.layer = layer
+        self.start = start
+        self.cost = cost
+
+    @property
+    def end(self):
+        return self.start + self.cost
+
+    def __repr__(self):
+        return "Span(trace=%r, owner=%r, layer=%r, start=%.3f, cost=%.3f)" % (
+            self.trace_id, self.owner, self.layer, self.start, self.cost)
+
+
+class TraceMeta:
+    """Birth record of a trace: where and why it started."""
+
+    __slots__ = ("trace_id", "kind", "host", "start", "size")
+
+    def __init__(self, trace_id, kind, host, start, size):
+        self.trace_id = trace_id
+        self.kind = kind      # "send" (socket entry) or "recv" (NIC rx)
+        self.host = host
+        self.start = start
+        self.size = size
+
+    def __repr__(self):
+        return "TraceMeta(id=%r, kind=%r, host=%r, start=%.3f, size=%r)" % (
+            self.trace_id, self.kind, self.host, self.start, self.size)
+
+
+class TaggedFrame(bytes):
+    """A wire frame carrying its packet's trace id.
+
+    It *is* the frame (a ``bytes`` subclass), so every queue, ring and
+    parser handles it unchanged; the tag is metadata that never reaches
+    the simulated wire format.
+    """
+
+    trace_id = None
+
+    @classmethod
+    def tag(cls, frame, trace_id):
+        if trace_id is None:
+            return frame
+        tagged = cls(frame)
+        tagged.trace_id = trace_id
+        return tagged
+
+
+def frame_trace(frame):
+    """The trace id a frame carries, or None for untagged frames."""
+    return getattr(frame, "trace_id", None)
+
+
+class TraceRecorder:
+    """Bounded ring of per-packet spans, attached to a Network.
+
+    Spans are kept newest-last in a single chronological deque; once
+    ``capacity`` is reached the oldest spans fall off, but the lifetime
+    counters stay exact.
+    """
+
+    def __init__(self, sim, capacity=DEFAULT_CAPACITY,
+                 max_traces=DEFAULT_MAX_TRACES):
+        self._sim = sim
+        self.capacity = capacity
+        self.max_traces = max_traces
+        self.enabled = False
+        self.spans = deque(maxlen=capacity)
+        self._meta = OrderedDict()   # trace_id -> TraceMeta (bounded)
+        self._next_id = 1
+        self.spans_recorded = 0
+        self.traces_started = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, capacity=None, max_traces=None):
+        """Start recording spans.  Optionally resize the ring."""
+        if capacity is not None:
+            self.capacity = capacity
+            self.spans = deque(self.spans, maxlen=capacity)
+        if max_traces is not None:
+            self.max_traces = max_traces
+        self.enabled = True
+        return self
+
+    def disable(self):
+        self.enabled = False
+        return self
+
+    def clear(self):
+        """Drop recorded spans and metadata.
+
+        Lifetime counters are *not* reset — they count everything ever
+        recorded, which is what makes eviction safe to reason about.
+        Benchmarks call this after warm-up so the ring holds only the
+        measured interval.
+        """
+        self.spans.clear()
+        self._meta.clear()
+
+    @property
+    def spans_evicted(self):
+        """How many spans the bounded ring has dropped so far."""
+        return self.spans_recorded - len(self.spans)
+
+    # ------------------------------------------------------------------
+    # Trace context (process-local)
+    # ------------------------------------------------------------------
+
+    def begin(self, kind, host="", size=None):
+        """Start a new trace and attach it to the running process.
+
+        Returns the new trace id, or None when tracing is disabled (in
+        which case nothing is attached and nothing is recorded).
+        """
+        if not self.enabled:
+            return None
+        trace_id = self._next_id
+        self._next_id += 1
+        self.traces_started += 1
+        self._meta[trace_id] = TraceMeta(trace_id, kind, host,
+                                         self._sim.now, size)
+        while len(self._meta) > self.max_traces:
+            self._meta.popitem(last=False)
+        self.adopt(trace_id)
+        return trace_id
+
+    def adopt(self, trace_id):
+        """Attach ``trace_id`` (possibly None) to the running process."""
+        proc = self._sim.current
+        if proc is not None:
+            proc.trace_ctx = trace_id
+        return trace_id
+
+    def current(self):
+        """Trace id of the running process, or None."""
+        proc = self._sim.current
+        return proc.trace_ctx if proc is not None else None
+
+    # ------------------------------------------------------------------
+    # Recording (called from LayerAccounting.add)
+    # ------------------------------------------------------------------
+
+    def record(self, owner, layer, cost):
+        """Record a charge that just *finished* at ``sim.now``.
+
+        The CPU model invokes accounting after the cost has elapsed, so
+        the span's start tick is ``now - cost``.  The span is attributed
+        to whatever trace the charging process carries (None for
+        untraced work such as timers — those spans still count toward
+        the fold, keeping the totals exact).
+        """
+        if not self.enabled:
+            return
+        span = Span(self.current(), owner, layer,
+                    self._sim.now - cost, cost)
+        self.spans.append(span)
+        self.spans_recorded += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def meta(self, trace_id):
+        return self._meta.get(trace_id)
+
+    def trace(self, trace_id):
+        """All retained spans of one trace, in chronological order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self):
+        """Ids of traces with retained metadata, oldest first."""
+        return list(self._meta)
+
+    def fold(self):
+        """Replay the ring into ``{owner: {layer: total}}``.
+
+        Iterates in record order, so per-(owner, layer) float addition
+        order matches the live ledgers exactly.
+        """
+        totals = {}
+        for span in self.spans:
+            acc = totals.setdefault(span.owner, {})
+            acc[span.layer] = acc.get(span.layer, 0.0) + span.cost
+        return totals
+
+    def __repr__(self):
+        return "<TraceRecorder %s spans=%d/%d traces=%d>" % (
+            "on" if self.enabled else "off", len(self.spans),
+            self.capacity, self.traces_started)

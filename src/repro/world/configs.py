@@ -161,6 +161,11 @@ class Placement:
         self.spec = spec
         self.host = host
         self.accounting = LayerAccounting()
+        # Mirror this placement's charges into the network's per-packet
+        # trace recorder (a no-op until someone enables it).  The owner
+        # label identifies this ledger in the span stream.
+        self.accounting.tracer = getattr(host, "tracer", None)
+        self.accounting.owner = "%s:%s" % (host.name, spec.key)
         self.tcp_defaults = tcp_defaults or {}
         if spec.style == STYLE_KERNEL:
             self._backend = InKernelNetwork(
@@ -179,6 +184,12 @@ class Placement:
                 tcp_defaults=self.tcp_defaults,
                 heavyweight_sync=spec.heavyweight_sync,
             )
+            # The OS server keeps its own ledger (management traffic);
+            # trace it under a distinct owner so packet timelines show
+            # server-side work separately from the app library's.
+            self._backend.accounting.tracer = getattr(host, "tracer", None)
+            self._backend.accounting.owner = "%s:%s.netserver" % (
+                host.name, spec.key)
         else:
             raise ValueError("unknown placement style %r" % spec.style)
 

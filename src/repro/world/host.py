@@ -35,7 +35,8 @@ class Host:
     _next_id = 1
 
     def __init__(self, sim, wire, ip_addr, platform, name="host",
-                 nic_model=LANCE, integrated_filter=False, prefixlen=24):
+                 nic_model=LANCE, integrated_filter=False, prefixlen=24,
+                 tracer=None):
         self.sim = sim
         self.name = name
         self.ip = ip_aton(ip_addr)
@@ -43,12 +44,14 @@ class Host:
         Host._next_id += 1
         self.mac = make_mac(self.host_id)
         self.platform = platform
+        self.tracer = tracer
         self.cpu = CPU(sim, platform, name="%s.cpu" % name)
         self.nic = NIC(sim, wire, self.mac, model=nic_model, name="%s.nic" % name)
         self.kernel = Kernel(
             sim, self.cpu, self.nic,
             integrated_filter=integrated_filter,
             name="%s.kernel" % name,
+            tracer=tracer,
         )
         self.route_table = RouteTable()
         # Route constructor masks the prefix to its length.

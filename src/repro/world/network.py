@@ -3,16 +3,23 @@
 from repro.hw.nic import LANCE
 from repro.hw.wire import EthernetWire
 from repro.sim.engine import Simulator
+from repro.trace import TraceRecorder
 from repro.world.host import Host
 
 
 class Network:
-    """An Ethernet segment with helper construction for hosts."""
+    """An Ethernet segment with helper construction for hosts.
+
+    Every network carries a :class:`~repro.trace.TraceRecorder`
+    (``net.tracer``), disabled by default; ``net.tracer.enable()`` turns
+    on per-packet span recording across all hosts and placements.
+    """
 
     def __init__(self, sim=None, name="ether0", loss_rate=0.0,
                  corrupt_rate=0.0, rng=None, propagation_us=0.0,
                  fault_plan=None):
         self.sim = sim if sim is not None else Simulator()
+        self.tracer = TraceRecorder(self.sim)
         self.wire = EthernetWire(
             self.sim, name=name, loss_rate=loss_rate,
             corrupt_rate=corrupt_rate, rng=rng,
@@ -30,6 +37,7 @@ class Network:
             name=name or ("host%d" % (len(self.hosts) + 1)),
             nic_model=nic_model,
             integrated_filter=integrated_filter,
+            tracer=self.tracer,
         )
         self.hosts.append(host)
         return host
