@@ -157,7 +157,7 @@ class ProtocolLibrary:
                 # One scheduling wakeup amortized over the whole train;
                 # attribute it to the train's first packet.
                 adopt_trace(sim, frame_trace(batch[0]) if batch else None)
-                yield from self.ctx.charge(
+                yield self.ctx.charge(
                     Layer.KERNEL_COPYOUT, self.ctx.params.sched_dispatch
                 )
                 for frame in batch:

@@ -47,7 +47,7 @@ class MetastateCache:
         This is the application's whole interaction with ARP; the actual
         protocol exchange happens in the server.
         """
-        yield from ctx.charge(Layer.ETHER_OUTPUT, ctx.params.proc_call)
+        yield ctx.charge(Layer.ETHER_OUTPUT, ctx.params.proc_call)
         mac = self.arp_cache.lookup(next_hop_ip)
         if mac is not None:
             return mac

@@ -115,7 +115,7 @@ class ProxySocketAPI(SocketAPI):
 
     def _proxy_entry(self, layer=Layer.ENTRY_COPYIN):
         """Entering the proxy is a procedure call, not a trap."""
-        yield from self.ctx.charge(layer, self.ctx.params.proc_call)
+        yield self.ctx.charge(layer, self.ctx.params.proc_call)
 
     def _rpc(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
         result = yield from self.rpc.call_retrying(

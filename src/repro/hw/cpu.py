@@ -49,11 +49,13 @@ class CPU:
             raise ValueError("negative CPU cost: %r" % cost)
         if cost == 0:
             return
-        yield from self._sched.acquire(priority)
+        sched = self._sched
+        if not sched.try_acquire():
+            yield from sched.acquire(priority)
         try:
             yield Timeout(cost)
         finally:
-            self._sched.release()
+            sched.release()
         self.busy_time += cost
         self.charge_count += 1
         if account is not None:

@@ -65,7 +65,7 @@ class MessagePort:
         separately by the caller (it depends on source memory type)."""
         if message.trace is None:
             message.trace = current_trace(self._sim)
-        yield from ctx.charge(layer, ctx.params.mach_msg)
+        yield ctx.charge(layer, ctx.params.mach_msg)
         self._queue.try_put(message)
         self.messages += 1
 
@@ -75,7 +75,7 @@ class MessagePort:
         # The receiving process picks up the packet's trace, so its
         # copyout/processing charges land on the right timeline.
         adopt_trace(self._sim, message.trace)
-        yield from ctx.charge(layer, ctx.params.mach_msg + ctx.params.trap_return)
+        yield ctx.charge(layer, ctx.params.mach_msg + ctx.params.trap_return)
         return message
 
     def pending(self):
@@ -173,10 +173,10 @@ class RPCPort:
             raise ServerCrashed(self._broken)
         p = ctx.params
         ctx.crossings.server_rpcs += 1
-        yield from ctx.charge_boundary_crossing(layer)
-        yield from ctx.charge(layer, p.rpc_stub + p.mach_msg)
+        yield ctx.charge_boundary_crossing(layer)
+        yield ctx.charge(layer, p.rpc_stub + p.mach_msg)
         if data:
-            yield from ctx.charge_copy(layer, len(data))
+            yield ctx.charge_copy(layer, len(data))
         reply_event = self._sim.event("%s.reply" % self.name)
         message = Message(op, args=args, data=bytes(data),
                           reply_event=reply_event,
@@ -188,9 +188,9 @@ class RPCPort:
             # e.g. a recv RPC: the reply carries the received packet's
             # trace, so the client's copyout charges join that timeline.
             adopt_trace(self._sim, reply_trace)
-        yield from ctx.charge(layer, p.mach_msg + p.trap_return)
+        yield ctx.charge(layer, p.mach_msg + p.trap_return)
         if reply_len:
-            yield from ctx.charge_copy(layer, reply_len)
+            yield ctx.charge_copy(layer, reply_len)
         if isinstance(result, BaseException):
             raise result
         return result
@@ -249,9 +249,9 @@ class RPCPort:
             self._outstanding.add(message.reply_event)
         adopt_trace(self._sim, message.trace)
         p = ctx.params
-        yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
+        yield ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if message.data_len:
-            yield from ctx.charge_copy(layer, message.data_len)
+            yield ctx.charge_copy(layer, message.data_len)
         return message
 
     def reply(self, ctx, message, result=None, reply_len=0, layer="rpc"):
@@ -267,9 +267,9 @@ class RPCPort:
             self.replies_dropped += 1
             return
         p = ctx.params
-        yield from ctx.charge(layer, p.mach_msg + p.rpc_stub)
+        yield ctx.charge(layer, p.mach_msg + p.rpc_stub)
         if reply_len:
-            yield from ctx.charge_copy(layer, reply_len)
+            yield ctx.charge_copy(layer, reply_len)
         message.reply_event.succeed(
             (result, reply_len, current_trace(self._sim)))
 

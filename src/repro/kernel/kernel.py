@@ -17,6 +17,7 @@ with the three delivery interfaces of Section 4.1:
 
 from repro.filter.vm import FilterMachine
 from repro.hw.cpu import Priority
+from repro.kernel.ipc import Message
 from repro.stack.context import ExecutionContext
 from repro.stack.instrument import Layer
 from repro.trace import frame_trace
@@ -33,12 +34,12 @@ class QueueDelivery:
     def deliver(self, ctx, frame, from_device):
         if from_device:
             # Integrated mode still must move the frame off the device.
-            yield from ctx.charge(
+            yield ctx.charge(
                 Layer.DEVICE_READ,
                 ctx.params.devmem_read_per_byte * len(frame),
             )
         self.channel.try_put(frame)
-        yield from ctx.charge(Layer.NETISR_FILTER, ctx.params.sched_dispatch)
+        yield ctx.charge(Layer.NETISR_FILTER, ctx.params.sched_dispatch)
 
 
 class IPCDelivery:
@@ -53,8 +54,6 @@ class IPCDelivery:
         self.remap_per_byte = remap_per_byte
 
     def deliver(self, ctx, frame, from_device):
-        from repro.kernel.ipc import Message
-
         p = ctx.params
         if from_device:
             per_byte = p.devmem_read_per_byte
@@ -62,13 +61,13 @@ class IPCDelivery:
             per_byte = self.remap_per_byte
         else:
             per_byte = p.copy_per_byte
-        yield from ctx.charge(
+        yield ctx.charge(
             Layer.KERNEL_COPYOUT, p.copy_fixed + per_byte * len(frame)
         )
         ctx.crossings.data_copies += 1
         ctx.crossings.user_kernel += 1
         yield from self.port.send(ctx, Layer.KERNEL_COPYOUT, Message("packet", data=frame))
-        yield from ctx.charge(Layer.NETISR_FILTER, p.sched_dispatch)
+        yield ctx.charge(Layer.NETISR_FILTER, p.sched_dispatch)
 
 
 class SHMDelivery:
@@ -91,7 +90,7 @@ class SHMDelivery:
     def deliver(self, ctx, frame, from_device):
         p = ctx.params
         per_byte = p.devmem_read_per_byte if from_device else p.shm_ring_per_byte
-        yield from ctx.charge(
+        yield ctx.charge(
             Layer.KERNEL_COPYOUT, p.copy_fixed + per_byte * len(frame)
         )
         ctx.crossings.data_copies += 1
@@ -99,7 +98,7 @@ class SHMDelivery:
         if not self.ring.deposit(frame):
             return  # ring overrun: dropped, accounted by the ring
         if needs_wakeup:
-            yield from ctx.charge(
+            yield ctx.charge(
                 Layer.NETISR_FILTER, p.condvar_signal + p.sched_dispatch
             )
 
@@ -135,6 +134,9 @@ class Kernel:
         self.ctx = ExecutionContext(
             sim, cpu, priority=Priority.INTERRUPT, name=name
         )
+        #: Per-ledger attributed contexts, built once and reused — the
+        #: demux path used to allocate a fresh context per matched frame.
+        self._attr_ctxs = {}
         self.frames_dropped_no_match = 0
         self.frames_demuxed = 0
         sim.spawn(self._interrupt_loop(), name="%s.intr" % name)
@@ -173,9 +175,9 @@ class Kernel:
         """
         p = ctx.params
         if not wired:
-            yield from ctx.charge_boundary_crossing(Layer.ETHER_OUTPUT)
-            yield from ctx.charge_copy(Layer.ETHER_OUTPUT, len(frame))
-        yield from ctx.charge(
+            yield ctx.charge_boundary_crossing(Layer.ETHER_OUTPUT)
+            yield ctx.charge_copy(Layer.ETHER_OUTPUT, len(frame))
+        yield ctx.charge(
             Layer.ETHER_OUTPUT,
             p.ether_overhead + p.devmem_write_per_byte * len(frame),
         )
@@ -196,17 +198,17 @@ class Kernel:
                 else:
                     self.tracer.adopt(trace_id)
             pre_cost = p.interrupt_entry
-            yield from self.ctx.charge(Layer.DEVICE_READ, p.interrupt_entry)
+            yield self.ctx.charge(Layer.DEVICE_READ, p.interrupt_entry)
             if not self.integrated_filter:
                 # Copy the whole frame out of device memory first.
                 read_cost = p.devmem_read_per_byte * len(frame)
                 pre_cost += read_cost
-                yield from self.ctx.charge(Layer.DEVICE_READ, read_cost)
+                yield self.ctx.charge(Layer.DEVICE_READ, read_cost)
                 self.nic.rx_release()
                 from_device = False
             else:
                 from_device = True
-            yield from self.ctx.charge(Layer.NETISR_FILTER, p.netisr_dispatch)
+            yield self.ctx.charge(Layer.NETISR_FILTER, p.netisr_dispatch)
             matched = yield from self._demux(frame, from_device, pre_cost)
             if from_device:
                 self.nic.rx_release()
@@ -242,16 +244,19 @@ class Kernel:
         receive costs)."""
         if accounting is None:
             return self.ctx
-        ctx = ExecutionContext(
-            self.sim,
-            self.cpu,
-            priority=Priority.INTERRUPT,
-            accounting=accounting,
-            crossings=self.ctx.crossings,
-            name=self.name,
-        )
+        ctx = self._attr_ctxs.get(accounting)
+        if ctx is None:
+            ctx = ExecutionContext(
+                self.sim,
+                self.cpu,
+                priority=Priority.INTERRUPT,
+                accounting=accounting,
+                crossings=self.ctx.crossings,
+                name=self.name,
+            )
+            self._attr_ctxs[accounting] = ctx
         return ctx
 
     def _charge_attributed(self, accounting, layer, cost):
         ctx = self._attributed_ctx(accounting)
-        yield from ctx.charge(layer, cost)
+        yield ctx.charge(layer, cost)

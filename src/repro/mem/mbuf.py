@@ -56,10 +56,11 @@ class Mbuf:
     @property
     def data(self):
         """The live bytes of this mbuf."""
-        return bytes(self.buf[self.off : self.off + self.len])
+        # A memoryview slice costs nothing; bytes() then copies once.
+        # Slicing the bytearray directly would copy twice.
+        return bytes(memoryview(self.buf)[self.off : self.off + self.len])
 
     def set_data(self, payload):
-        payload = bytes(payload)
         if self.off + len(payload) > len(self.buf):
             raise ValueError("payload %d too large for mbuf" % len(payload))
         self.buf[self.off : self.off + len(payload)] = payload
@@ -83,7 +84,6 @@ class Mbuf:
         headers can be prepended in place.  Returns the head of the chain;
         an empty payload still yields one (empty) mbuf.
         """
-        payload = bytes(payload)
         head = None
         tail = None
         remaining = memoryview(payload)
@@ -111,16 +111,18 @@ class Mbuf:
 
     def to_bytes(self):
         """Flatten the whole chain into one bytes object."""
+        # join() reads the memoryviews directly, so each mbuf's bytes
+        # are copied exactly once, into the result.
         parts = []
         m = self
         while m is not None:
-            parts.append(self._slice(m))
+            parts.append(memoryview(m.buf)[m.off : m.off + m.len])
             m = m.next
         return b"".join(parts)
 
     @staticmethod
     def _slice(m):
-        return bytes(m.buf[m.off : m.off + m.len])
+        return bytes(memoryview(m.buf)[m.off : m.off + m.len])
 
     def chain_len(self):
         """Total data bytes in the chain."""
@@ -203,12 +205,28 @@ class Mbuf:
         cost model charges for the copy where the real code would, and
         correctness is identical.
         """
-        data = self.to_bytes()
+        total = self.chain_len()
         if length is None:
-            length = len(data) - off
-        if off < 0 or off + length > len(data):
+            length = total - off
+        if off < 0 or off + length > total:
             raise ValueError("copy range out of bounds")
-        return Mbuf.from_bytes(data[off : off + length], stats=stats)
+        # Gather only the requested range, as views — no flattening of
+        # the whole chain, one copy into the new chain's buffers.
+        parts = []
+        skip = off
+        need = length
+        m = self
+        while m is not None and need > 0:
+            if skip >= m.len:
+                skip -= m.len
+            else:
+                take = min(m.len - skip, need)
+                start = m.off + skip
+                parts.append(memoryview(m.buf)[start : start + take])
+                skip = 0
+                need -= take
+            m = m.next
+        return Mbuf.from_bytes(b"".join(parts), stats=stats)
 
     def cat(self, other):
         """``m_cat``: append ``other``'s chain to this one."""
@@ -224,14 +242,29 @@ class Mbuf:
             raise ValueError("pullup beyond chain length")
         if self.len >= count:
             return self
-        data = self.to_bytes()
-        head = data[:count]
-        rest = data[count:]
+        # Gather just the first ``count`` bytes; the tail mbufs keep
+        # their buffers (only their windows move) instead of the whole
+        # chain being flattened and rebuilt.
+        parts = [memoryview(self.buf)[self.off : self.off + self.len]]
+        need = count - self.len
+        m = self.next
+        while need > 0:
+            take = min(m.len, need)
+            parts.append(memoryview(m.buf)[m.off : m.off + take])
+            m.off += take
+            m.len -= take
+            need -= take
+            if m.len == 0:
+                m = m.next
+        head = b"".join(parts)
+        if len(self.buf) < count:
+            self.buf = bytearray(count)
         self.off = 0
-        self.buf = bytearray(max(len(self.buf), count))
         self.buf[:count] = head
         self.len = count
-        self.next = Mbuf.from_bytes(rest, header_space=0) if rest else None
+        while m is not None and m.len == 0:
+            m = m.next
+        self.next = m
         return self
 
     def split(self, off, stats=None):

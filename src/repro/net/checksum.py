@@ -1,9 +1,10 @@
 """The Internet checksum (RFC 1071), used by IP, UDP, and TCP.
 
-The implementation exploits the fact that the one's-complement sum of
-big-endian 16-bit words equals ``256 * sum(even bytes) + sum(odd bytes)``
-followed by carry folding, which lets Python compute it at C speed with
-``sum()`` over byte slices.
+The implementation exploits the fact that the buffer read as one big
+base-256 integer is congruent, modulo 0xFFFF, to its one's-complement
+sum of big-endian 16-bit words (because 0x10000 == 1 mod 0xFFFF), which
+lets Python compute the whole sum with a single C-level
+``int.from_bytes`` and one modulo — no slicing, no copying.
 """
 
 
@@ -14,13 +15,24 @@ def ones_complement_add(a, b):
 
 
 def _raw_sum(data):
-    """One's-complement accumulation of ``data`` as big-endian 16-bit words."""
-    if len(data) % 2:
-        data = bytes(data) + b"\x00"
-    total = sum(data[0::2]) * 256 + sum(data[1::2])
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return total
+    """One's-complement accumulation of ``data`` as big-endian 16-bit words.
+
+    Accepts bytes, bytearray, or memoryview without copying.  An odd
+    length is handled by shifting left one byte, which is exactly what
+    zero-padding the buffer to a whole number of words would do.
+
+    The congruence trick: the end-around-carry fold of the word sum is
+    the unique value in ``[0, 0xFFFF]`` congruent to it mod 0xFFFF that
+    is zero only for an all-zero sum — i.e. ``total % 0xFFFF``, with a
+    nonzero multiple of 0xFFFF mapping to 0xFFFF rather than 0.
+    """
+    total = int.from_bytes(data, "big")
+    if len(data) & 1:
+        total <<= 8
+    if total:
+        total %= 0xFFFF
+        return total if total else 0xFFFF
+    return 0
 
 
 def internet_checksum(data, initial=0):

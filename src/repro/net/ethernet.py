@@ -11,6 +11,8 @@ HEADER_LEN = 14
 MTU = 1500  # maximum payload
 MIN_PAYLOAD = 46  # minimum payload (frames are padded up to this)
 
+_TYPE_STRUCT = struct.Struct("!H")
+
 
 class EthernetHeader:
     """A parsed Ethernet II header."""
@@ -23,13 +25,13 @@ class EthernetHeader:
         self.ethertype = ethertype
 
     def pack(self):
-        return self.dst + self.src + struct.pack("!H", self.ethertype)
+        return self.dst + self.src + _TYPE_STRUCT.pack(self.ethertype)
 
     @classmethod
     def unpack(cls, frame):
         if len(frame) < HEADER_LEN:
             raise ValueError("frame too short for Ethernet header: %d" % len(frame))
-        (ethertype,) = struct.unpack_from("!H", frame, 12)
+        (ethertype,) = _TYPE_STRUCT.unpack_from(frame, 12)
         return cls(frame[0:6], frame[6:12], ethertype)
 
     def __repr__(self):

@@ -15,6 +15,8 @@ DEFAULT_TTL = 64
 FLAG_DF = 0x2  # don't fragment
 FLAG_MF = 0x1  # more fragments
 
+_IP_STRUCT = struct.Struct("!BBHHHBBHII")
+
 
 class IPHeader:
     """A parsed IPv4 header (options-free on the send side)."""
@@ -61,8 +63,10 @@ class IPHeader:
             raise ValueError("fragment offset must be a multiple of 8")
         vhl = (4 << 4) | (HEADER_LEN // 4)
         flags_frag = (self.flags << 13) | (self.frag_off // 8)
-        header = struct.pack(
-            "!BBHHHBBHII",
+        header = bytearray(HEADER_LEN)
+        _IP_STRUCT.pack_into(
+            header,
+            0,
             vhl,
             self.tos,
             self.total_len,
@@ -75,14 +79,16 @@ class IPHeader:
             self.dst,
         )
         checksum = internet_checksum(header)
-        return header[:10] + struct.pack("!H", checksum) + header[12:]
+        header[10] = checksum >> 8
+        header[11] = checksum & 0xFF
+        return bytes(header)
 
     @classmethod
     def unpack(cls, data, verify=True):
         if len(data) < HEADER_LEN:
             raise ValueError("IP packet too short: %d" % len(data))
         vhl, tos, total_len, ident, flags_frag, ttl, proto, _cksum, src, dst = (
-            struct.unpack_from("!BBHHHBBHII", data, 0)
+            _IP_STRUCT.unpack_from(data, 0)
         )
         version = vhl >> 4
         header_len = (vhl & 0xF) * 4

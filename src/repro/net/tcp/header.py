@@ -25,6 +25,10 @@ MSS_ETHERNET = 1460
 _FLAG_NAMES = [(FIN, "FIN"), (SYN, "SYN"), (RST, "RST"), (PSH, "PSH"),
                (ACK, "ACK"), (URG, "URG")]
 
+_TCP_STRUCT = struct.Struct("!HHIIBBHHH")
+_OPT_MSS_STRUCT = struct.Struct("!BBH")
+_OPT_WSCALE_STRUCT = struct.Struct("!BBB")
+
 
 def flags_str(flags):
     names = [name for bit, name in _FLAG_NAMES if flags & bit]
@@ -55,9 +59,9 @@ class TCPSegment:
     def _options(self):
         options = b""
         if self.mss_option is not None:
-            options += struct.pack("!BBH", OPT_MSS, 4, self.mss_option)
+            options += _OPT_MSS_STRUCT.pack(OPT_MSS, 4, self.mss_option)
         if self.wscale_option is not None:
-            options += struct.pack("!BBB", OPT_WSCALE, 3, self.wscale_option)
+            options += _OPT_WSCALE_STRUCT.pack(OPT_WSCALE, 3, self.wscale_option)
         return options
 
     def pack(self, src_ip, dst_ip):
@@ -66,8 +70,12 @@ class TCPSegment:
         if len(options) % 4:
             options += bytes(4 - len(options) % 4)
         data_off = (HEADER_LEN + len(options)) // 4
-        header = struct.pack(
-            "!HHIIBBHHH",
+        payload = self.payload
+        length = HEADER_LEN + len(options) + len(payload)
+        segment = bytearray(length)
+        _TCP_STRUCT.pack_into(
+            segment,
+            0,
             self.src_port,
             self.dst_port,
             self.seq,
@@ -78,16 +86,13 @@ class TCPSegment:
             0,
             self.urgent,
         )
-        segment = header + options + self.payload
-        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len(segment))
+        segment[HEADER_LEN : HEADER_LEN + len(options)] = options
+        segment[HEADER_LEN + len(options) :] = payload
+        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, length)
         checksum = internet_checksum(segment, initial=pseudo)
-        return (
-            header[:16]
-            + struct.pack("!H", checksum)
-            + header[18:]
-            + options
-            + self.payload
-        )
+        segment[16] = checksum >> 8
+        segment[17] = checksum & 0xFF
+        return bytes(segment)
 
     @classmethod
     def unpack(cls, src_ip, dst_ip, data, verify=True):
@@ -95,7 +100,7 @@ class TCPSegment:
         if len(data) < HEADER_LEN:
             raise ValueError("TCP segment too short: %d" % len(data))
         (src_port, dst_port, seq, ack, off_byte, flags, window, _cksum,
-         urgent) = struct.unpack_from("!HHIIBBHHH", data, 0)
+         urgent) = _TCP_STRUCT.unpack_from(data, 0)
         header_len = (off_byte >> 4) * 4
         if header_len < HEADER_LEN or header_len > len(data):
             raise ValueError("bad TCP data offset: %d" % header_len)

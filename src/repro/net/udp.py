@@ -7,6 +7,8 @@ from repro.net.ip import PROTO_UDP
 
 HEADER_LEN = 8
 
+_UDP_STRUCT = struct.Struct("!HHHH")
+
 #: Largest UDP payload that fits an unfragmented Ethernet IP packet
 #: (1500 - 20 IP - 8 UDP), the paper's 1472-byte message size.
 MAX_UNFRAGMENTED_PAYLOAD = 1472
@@ -31,12 +33,16 @@ def encapsulate(src_ip, dst_ip, src_port, dst_port, payload):
     length = HEADER_LEN + len(payload)
     if length > 65535:
         raise ValueError("UDP datagram too large: %d" % length)
-    header = struct.pack("!HHHH", src_port, dst_port, length, 0)
+    datagram = bytearray(length)
+    _UDP_STRUCT.pack_into(datagram, 0, src_port, dst_port, length, 0)
+    datagram[HEADER_LEN:] = payload
     pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length)
-    checksum = internet_checksum(header + bytes(payload), initial=pseudo)
+    checksum = internet_checksum(datagram, initial=pseudo)
     if checksum == 0:
         checksum = 0xFFFF  # RFC 768: zero means "no checksum"
-    return struct.pack("!HHHH", src_port, dst_port, length, checksum) + bytes(payload)
+    datagram[6] = checksum >> 8
+    datagram[7] = checksum & 0xFF
+    return bytes(datagram)
 
 
 def decapsulate(src_ip, dst_ip, datagram, verify=True):
@@ -46,7 +52,7 @@ def decapsulate(src_ip, dst_ip, datagram, verify=True):
     """
     if len(datagram) < HEADER_LEN:
         raise ValueError("UDP datagram too short: %d" % len(datagram))
-    src_port, dst_port, length, checksum = struct.unpack_from("!HHHH", datagram, 0)
+    src_port, dst_port, length, checksum = _UDP_STRUCT.unpack_from(datagram, 0)
     if length < HEADER_LEN or length > len(datagram):
         raise ValueError("bad UDP length field: %d" % length)
     datagram = bytes(datagram[:length])

@@ -102,11 +102,11 @@ class KernelSocketAPI(SocketAPI):
     # ------------------------------------------------------------------
 
     def _enter(self, layer):
-        yield from self.ctx.charge_boundary_crossing(layer)
-        yield from self.ctx.charge(layer, self.ctx.params.socket_layer)
+        yield self.ctx.charge_boundary_crossing(layer)
+        yield self.ctx.charge(layer, self.ctx.params.socket_layer)
 
     def _exit(self, layer):
-        yield from self.ctx.charge(layer, self.ctx.params.trap_return)
+        yield self.ctx.charge(layer, self.ctx.params.trap_return)
 
     # ------------------------------------------------------------------
 
@@ -298,7 +298,7 @@ def _select_on_stack(ctx, stack, fds, read_fds, write_fds, timeout):
     from repro.sim.events import any_of
 
     deadline = None if timeout is None else ctx.sim.now + timeout
-    yield from ctx.charge(Layer.ENTRY_COPYIN, ctx.params.select_overhead)
+    yield ctx.charge(Layer.ENTRY_COPYIN, ctx.params.select_overhead)
     while True:
         ready_r = []
         ready_w = []

@@ -239,7 +239,7 @@ class NetServer(UnixServer):
                 record.app_filter = snap.get("app_filter")
             restored += 1
         self.sessions_restored += restored
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
         )
         return restored, 0
@@ -348,7 +348,7 @@ class NetServer(UnixServer):
             raise SocketError("unsupported socket type %r" % kind)
         sid = self._alloc_sid()
         self._records[sid] = SessionRecord(sid, kind, app_id)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return sid, 0
 
     def op_proxy_bind(self, message):
@@ -361,12 +361,12 @@ class NetServer(UnixServer):
             receiver = self._install_app_filter(record, ip.PROTO_UDP, None)
             record.mode = "app"
             self.migrations_out += 1
-            yield from self.ctx.charge(
+            yield self.ctx.charge(
                 Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
             )
             return (record.lport, receiver), 0
         record.lport = self._alloc_port("tcp", port)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return (record.lport, None), 0
 
     def op_proxy_connect(self, message):
@@ -438,7 +438,7 @@ class NetServer(UnixServer):
         record.server_filter = self._install_server_filter(
             ip.PROTO_TCP, record.lport, None
         )
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return record.lport, 0
 
     def op_proxy_accept(self, message):
@@ -493,7 +493,7 @@ class NetServer(UnixServer):
         record.server_handle = desc.fd
         record.mode = "server"
         self.migrations_in += 1
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return record.server_handle, 0
 
     def op_proxy_close(self, message):
@@ -505,7 +505,7 @@ class NetServer(UnixServer):
             # The record died with a crashed incarnation and was never
             # re-registered (an embryonic or post-fork server-managed
             # session): the retried close has nothing left to tear down.
-            yield from self.ctx.charge(
+            yield self.ctx.charge(
                 Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
             )
             return None, 0
@@ -513,7 +513,7 @@ class NetServer(UnixServer):
             self._remove_app_filter(record)
             self._release_record_port(record, "udp")
             record.mode = "closed"
-            yield from self.ctx.charge(
+            yield self.ctx.charge(
                 Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
             )
             return None, 0
@@ -586,7 +586,7 @@ class NetServer(UnixServer):
         status, releasing any select blocked on its behalf."""
         (app_id,) = message.args
         self._app_status[app_id].fire()
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
         return None, 0
 
     def op_proxy_select(self, message):
@@ -594,7 +594,7 @@ class NetServer(UnixServer):
         waking when the app reports local status via proxy_status."""
         app_id, read_handles, write_handles, timeout = message.args
         deadline = None if timeout is None else self.ctx.sim.now + timeout
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.ENTRY_COPYIN, self.ctx.params.select_overhead
         )
         status = self._app_status[app_id]
@@ -664,7 +664,7 @@ class NetServer(UnixServer):
     def op_meta_route(self, message):
         _app_id, dst_ip = message.args
         next_hop = self.host.route(dst_ip)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
         return next_hop, 0
 
     # ==================================================================

@@ -173,7 +173,7 @@ class UnixServer:
         else:
             raise SocketError("unsupported socket type %r" % kind)
         desc = self.fds.alloc(kind, session)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return desc.fd, 0
 
     def _udp_session(self, desc, port=None):
@@ -184,7 +184,7 @@ class UnixServer:
     def op_bind(self, message):
         handle, port = message.args
         desc = self.fds.get(handle)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         if desc.kind == SOCK_DGRAM:
             self._udp_session(desc, port=port)
         else:
@@ -199,7 +199,7 @@ class UnixServer:
         handle, backlog = message.args
         desc = self.fds.get(handle)
         self.stack.tcp_listen(desc.payload, backlog)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
         return None, 0
 
     def op_accept(self, message):
@@ -214,7 +214,7 @@ class UnixServer:
         desc = self.fds.get(handle)
         if desc.kind == SOCK_DGRAM:
             self.stack.udp_connect(self._udp_session(desc), addr)
-            yield from self.ctx.charge(
+            yield self.ctx.charge(
                 Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
             )
         else:
@@ -282,7 +282,7 @@ class UnixServer:
         handle, option, value = message.args
         desc = self.fds.get(handle)
         _apply_sockopt(desc, option, value)
-        yield from self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
         return None, 0
 
     def op_ping(self, message):
@@ -300,7 +300,7 @@ class UnixServer:
     def op_select(self, message):
         read_handles, write_handles, timeout = message.args
         deadline = None if timeout is None else self.ctx.sim.now + timeout
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.ENTRY_COPYIN, self.ctx.params.select_overhead
         )
         while True:
@@ -449,7 +449,7 @@ class ServerSocketAPI(SocketAPI):
         """Server-based sockets fork trivially: the sessions live in the
         server, so the child shares the server-side descriptors.  (A
         generator, like every socket call.)"""
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.ENTRY_COPYIN, self.ctx.params.proc_call
         )
         child = ServerSocketAPI(self.server)

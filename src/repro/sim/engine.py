@@ -1,17 +1,31 @@
 """The simulation event loop.
 
 The :class:`Simulator` owns a virtual clock (a float, in microseconds by
-convention throughout this project) and a priority queue of scheduled
-items.  Two kinds of items are scheduled: events to dispatch (waking their
-waiters) and bare callables.  Ties in time are broken by insertion order,
-which makes every run fully deterministic.
+convention throughout this project) and two scheduling structures:
+
+* a priority queue (heap) of items scheduled for a *future* time, as
+  ``(when, seq, fn, args)`` tuples — plain tuples beat any class here,
+  both to allocate and to compare;
+* a FIFO ready deque of ``(fn, payload)`` items at the *current* time
+  (``call_soon`` work and triggered-event dispatches), which skips the
+  heap entirely on the zero-delay fast path.
+
+Ties in time on the heap are broken by a global insertion sequence
+number, which makes every run fully deterministic.  Ready items need no
+sequence number at all: the deque is only ever refilled from the heap
+while empty (at a time advance, in heap — i.e. sequence — order), and
+everything appended afterwards lands behind in insertion order, so FIFO
+position alone reproduces exactly the order a single shared-counter
+heap would have produced.  The fast paths change wall-clock time only,
+never the simulated order.
 """
 
 import heapq
+from collections import deque
 from itertools import count
 
 from repro.sim.errors import Deadlock
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 from repro.sim.process import Process, Timeout
 
 
@@ -20,7 +34,11 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
+        #: Future work: a heap of (when, seq, fn, args).
         self._queue = []
+        #: Same-timestamp work: a FIFO of (fn, args) callables and
+        #: (None, event) dispatches, all at the current time.
+        self._ready = deque()
         self._seq = count()
         self._live_processes = 0
         self._live = set()
@@ -53,23 +71,27 @@ class Simulator:
     def call_soon(self, fn, *args):
         """Run ``fn(*args)`` at the current simulated time, after the
         currently-executing item finishes."""
-        heapq.heappush(self._queue, (self._now, next(self._seq), "call", fn, args))
+        self._ready.append((fn, args))
 
     def call_at(self, when, fn, *args):
         """Run ``fn(*args)`` at absolute simulated time ``when``."""
-        if when < self._now:
+        if when > self._now:
+            heapq.heappush(self._queue, (when, next(self._seq), fn, args))
+        elif when == self._now:
+            self._ready.append((fn, args))
+        else:
             raise ValueError("cannot schedule in the past: %r < %r" % (when, self._now))
-        heapq.heappush(self._queue, (when, next(self._seq), "call", fn, args))
 
     def call_later(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` microseconds."""
         self.call_at(self._now + delay, fn, *args)
 
     def _schedule_event(self, event):
-        """Queue a triggered event's callbacks for dispatch (engine use)."""
-        heapq.heappush(
-            self._queue, (self._now, next(self._seq), "dispatch", event, None)
-        )
+        """Queue a triggered event's callbacks for dispatch (engine use).
+
+        Dispatch always happens at the current time, so it rides the
+        ready deque and never touches the heap."""
+        self._ready.append((None, event))
 
     # ------------------------------------------------------------------
     # Processes
@@ -107,17 +129,35 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def step(self):
-        """Execute the next scheduled item.  Returns False if none remain."""
-        if not self._queue:
+        """Execute the next scheduled item.  Returns False if none remain.
+
+        The ready deque holds items at the current time, in sequence
+        order; the heap holds strictly-future items.  The invariant is
+        maintained at time-advance: every heap entry for the new instant
+        is drained into the deque at once (heap pops come out in
+        sequence order, and nothing can be scheduled at the current time
+        via the heap afterwards), so the hot path never peeks the heap.
+        """
+        ready = self._ready
+        if ready:
+            fn, payload = ready.popleft()
+            if fn is not None:
+                fn(*payload)
+            else:  # dispatch: run a triggered event's callbacks
+                callbacks, payload.callbacks = payload.callbacks, None
+                for callback in callbacks:
+                    callback(payload)
+            return True
+        queue = self._queue
+        if not queue:
             return False
-        when, _seq, kind, payload, extra = heapq.heappop(self._queue)
+        when, _seq, fn, args = heapq.heappop(queue)
         self._now = when
-        if kind == "call":
-            payload(*extra)
-        else:  # "dispatch": run a triggered event's callbacks
-            callbacks, payload.callbacks = payload.callbacks, None
-            for callback in callbacks:
-                callback(payload)
+        heappop = heapq.heappop
+        while queue and queue[0][0] == when:
+            item = heappop(queue)
+            ready.append((item[2], item[3]))
+        fn(*args)
         return True
 
     def run(self, until=None, detect_deadlock=False):
@@ -130,12 +170,19 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError("until %r is in the past (now=%r)" % (until, self._now))
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self.step()
-        if until is not None:
+        step = self.step
+        if until is None:
+            while step():
+                pass
+        else:
+            while True:
+                if self._ready:
+                    step()
+                    continue
+                queue = self._queue
+                if not queue or queue[0][0] > until:
+                    break
+                step()
             self._now = until
         if detect_deadlock and self._live_processes > 0:
             raise Deadlock(
@@ -153,10 +200,11 @@ class Simulator:
         event queue drains (or ``until`` passes) before it finishes.
         """
         proc = self.spawn(generator, name=name)
-        while not proc.triggered and self._queue:
-            if until is not None and self._queue[0][0] > until:
+        step = self.step
+        while proc._state is PENDING and (self._ready or self._queue):
+            if until is not None and not self._ready and self._queue[0][0] > until:
                 break
-            self.step()
+            step()
         if not proc.triggered:
             raise Deadlock("process %r did not finish" % (name or proc),
                            blocked=self._blocked_report())
@@ -167,10 +215,68 @@ class Simulator:
     def run_all(self, generators, until=None):
         """Spawn several processes; run until all finish; return values."""
         procs = [self.spawn(gen) for gen in generators]
-        while not all(p.triggered for p in procs) and self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        # Track completion without rescanning every process per step:
+        # pop finished processes off the tail; the list empties on the
+        # exact step the last pending process triggers, matching the old
+        # all(p.triggered ...) scan tick for tick.
+        #
+        # This is the driver loop under every benchmark, so the body of
+        # :meth:`step` is inlined here (dispatch a ready item, else
+        # advance the clock and drain the heap) — it must stay an exact
+        # mirror of step().
+        pending = list(procs)
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        pending_state = PENDING
+        # ``last`` caches pending[-1]; refreshed only when the tail pops.
+        last = pending[-1] if pending else None
+        if until is None:
+            while last is not None:
+                if last._state is not pending_state:
+                    pending.pop()
+                    last = pending[-1] if pending else None
+                    continue
+                if ready:
+                    fn, payload = ready.popleft()
+                    if fn is not None:
+                        fn(*payload)
+                    else:  # dispatch a triggered event's callbacks
+                        callbacks, payload.callbacks = payload.callbacks, None
+                        for callback in callbacks:
+                            callback(payload)
+                    continue
+                if not queue:
+                    break
+                when, _seq, fn, args = heappop(queue)
+                self._now = when
+                while queue and queue[0][0] == when:
+                    item = heappop(queue)
+                    ready.append((item[2], item[3]))
+                fn(*args)
+        else:
+            while last is not None:
+                if last._state is not pending_state:
+                    pending.pop()
+                    last = pending[-1] if pending else None
+                    continue
+                if ready:
+                    fn, payload = ready.popleft()
+                    if fn is not None:
+                        fn(*payload)
+                    else:  # dispatch a triggered event's callbacks
+                        callbacks, payload.callbacks = payload.callbacks, None
+                        for callback in callbacks:
+                            callback(payload)
+                    continue
+                if not queue or queue[0][0] > until:
+                    break
+                when, _seq, fn, args = heappop(queue)
+                self._now = when
+                while queue and queue[0][0] == when:
+                    item = heappop(queue)
+                    ready.append((item[2], item[3]))
+                fn(*args)
         results = []
         for proc in procs:
             if not proc.triggered:

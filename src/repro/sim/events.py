@@ -57,7 +57,9 @@ class Event:
             raise SimulationError("%r has already been triggered" % self)
         self._state = SUCCEEDED
         self._value = value
-        self._sim._schedule_event(self)
+        # Inlined sim._schedule_event(self) — this is the hottest way an
+        # event reaches the engine.
+        self._sim._ready.append((None, self))
         return self
 
     def fail(self, exception):
@@ -68,7 +70,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._state = FAILED
         self._value = exception
-        self._sim._schedule_event(self)
+        self._sim._ready.append((None, self))
         return self
 
     def add_callback(self, callback):

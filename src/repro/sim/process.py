@@ -10,10 +10,22 @@ A :class:`Process` drives a generator.  The generator suspends by yielding:
 
 A process is itself an event that fires with the generator's return value,
 so processes can be joined or waited on like any other event.
+
+Timeouts take an allocation-free fast path: instead of building an
+``Event`` plus a callback closure per timeout, the process schedules its
+own resume directly.  The resume still takes the same two queue hops the
+event path took (fire at the deadline, dispatch one ready item later),
+so the simulated order of every run is bit-identical to the event-based
+implementation — only the wall-clock cost changes.  The first hop is the
+ready deque's own C ``append``: the timer entry's callable appends the
+fire entry, and a fire made stale by an interrupt no-ops on its token
+check, exactly as a skipped hop would have.
 """
 
+from heapq import heappush
+
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import Event, PENDING
+from repro.sim.events import Event, PENDING, SUCCEEDED
 
 
 class Timeout:
@@ -31,10 +43,48 @@ class Timeout:
         return "Timeout(%r)" % self.delay
 
 
+class Charge:
+    """Yielded by a process to charge CPU time, pair by pair.
+
+    A charge request carries ``(layer, cost)`` pairs plus where to bill
+    them (a :class:`~repro.hw.cpu.CPU`, a scheduling priority, and a
+    :class:`~repro.stack.instrument.LayerAccounting`).  The process
+    machinery executes it directly — acquire the CPU at ``priority``,
+    sleep ``cost``, release, account, repeat — without resuming the
+    generator between pairs, which removes one generator frame plus one
+    full coroutine-chain resume per CPU hand-off compared with driving
+    an equivalent charging subgenerator.  The engine-visible schedule
+    (every acquire, sleep, and release point, in sequence order) is
+    identical to that subgenerator's.
+    """
+
+    __slots__ = ("cpu", "priority", "accounting", "pairs", "n")
+
+    def __init__(self, cpu, priority, accounting, pairs):
+        self.cpu = cpu
+        self.priority = priority
+        self.accounting = accounting
+        self.pairs = pairs
+        self.n = len(pairs)
+
+    def __iter__(self):
+        # Back-compat: ``yield from ctx.charge(...)`` still works — the
+        # charge passes itself up to the process and the ``yield from``
+        # completes when the process resumes the chain.
+        yield self
+
+    def __repr__(self):
+        return "Charge(%s)" % ", ".join(
+            "%s=%r" % (layer, cost) for layer, cost in self.pairs
+        )
+
+
 class Process(Event):
     """A running coroutine.  Create via :meth:`Simulator.spawn`."""
 
-    __slots__ = ("_generator", "_wait_token", "_alive", "waiting_on", "trace_ctx")
+    __slots__ = ("_generator", "_wait_token", "_alive", "_event_cb",
+                 "_charge", "_charge_i", "_charge_waiter", "_charge_cb",
+                 "waiting_on", "trace_ctx")
 
     def __init__(self, sim, generator, name=""):
         if not hasattr(generator, "send"):
@@ -46,8 +96,17 @@ class Process(Event):
         self._generator = generator
         self._wait_token = object()
         self._alive = True
-        #: The Event this process is currently blocked on (deadlock
-        #: diagnostics); None while runnable or finished.
+        #: Prebound event callbacks, created once so waiting on an event
+        #: (or on the CPU lock inside a charge) allocates nothing per wait.
+        self._event_cb = self._on_event
+        self._charge_cb = self._on_charge_lock
+        #: The in-flight :class:`Charge`, the index of the pair being
+        #: billed, and the lock waiter if that pair is queued for the CPU.
+        self._charge = None
+        self._charge_i = 0
+        self._charge_waiter = None
+        #: The Event or Timeout this process is currently blocked on
+        #: (deadlock diagnostics); None while runnable or finished.
         self.waiting_on = None
         #: Trace id of the packet this process is currently working on
         #: (see :mod:`repro.trace`); None when no trace is active.
@@ -67,6 +126,7 @@ class Process(Event):
         if not self._alive:
             raise SimulationError("cannot interrupt finished process %r" % self)
         token = self._wait_token = object()  # invalidate the pending wait
+        self.waiting_on = None  # the abandoned wait must not resume us
         self._sim.call_soon(self._resume, _Failure(Interrupt(cause)), token)
 
     # ------------------------------------------------------------------
@@ -76,17 +136,35 @@ class Process(Event):
         Event that fired, or a _Failure carrying an exception to throw."""
         if token is not self._wait_token or not self._alive:
             return  # stale wakeup (the process was interrupted meanwhile)
+        if self._charge is not None:
+            # Only an interrupt can land here mid-charge.  Abandon the
+            # charge exactly as the old charging subgenerator's
+            # except/finally blocks did: withdraw a queued CPU waiter
+            # (forwarding the lock if it was handed to us as we died),
+            # or release the CPU we hold mid-sleep.
+            sched = self._charge.cpu._sched
+            waiter = self._charge_waiter
+            if waiter is not None:
+                sched.withdraw(waiter)
+                if waiter.event.triggered:
+                    sched.release()
+                self._charge_waiter = None
+            elif sched._heap:
+                sched.release()
+            else:
+                sched._locked = False
+            self._charge = None
         self.waiting_on = None
         self._sim.current = self
         try:
             if trigger is None:
                 target = self._generator.send(None)
-            elif isinstance(trigger, _Failure):
+            elif type(trigger) is _Failure:
                 target = self._generator.throw(trigger.exception)
-            elif trigger.ok:
-                target = self._generator.send(trigger.value)
+            elif trigger._state is SUCCEEDED:
+                target = self._generator.send(trigger._value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             self._finish_ok(stop.value)
             return
@@ -97,22 +175,249 @@ class Process(Event):
             self._sim.current = None
         self._wait_for(target)
 
+    def _on_event(self, event):
+        """Event-fired callback.  Guarded by identity with the current
+        wait target, so a wait abandoned by an interrupt stays dead."""
+        if event is self.waiting_on:
+            self._resume(event, self._wait_token)
+
+    def _timeout_fire(self, value, token):
+        """Second hop: resume the generator with the timeout's value."""
+        if token is not self._wait_token or not self._alive:
+            return
+        self.waiting_on = None
+        sim = self._sim
+        sim.current = self
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            sim.current = None
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            sim.current = None
+            self._finish_fail(exc)
+            return
+        sim.current = None
+        self._wait_for(target)
+
     def _wait_for(self, target):
-        token = self._wait_token = object()
-        if isinstance(target, Timeout):
-            ev = self._sim.timeout(target.delay, target.value)
-            self.waiting_on = ev
-            ev.add_callback(lambda e, t=token: self._resume(e, t))
-        elif isinstance(target, Event):
-            self.waiting_on = target
-            target.add_callback(lambda e, t=token: self._resume(e, t))
-        else:
-            self._finish_fail(
-                SimulationError(
-                    "process %r yielded %r; expected Timeout, Event, or "
-                    "Process" % (self, target)
+        """Suspend on whatever the generator yielded.
+
+        Loops because an all-zero-cost :class:`Charge` completes without
+        suspending: the generator is resumed synchronously (exactly as
+        driving an empty charging subgenerator used to behave) and may
+        yield a new target.
+        """
+        gen = self._generator
+        sim = self._sim
+        while True:
+            token = self._wait_token = object()
+            cls = type(target)
+            if cls is Timeout:
+                # Allocation-free fast path: no Event, no callback
+                # closure, and the call_at dispatch inlined.  The first
+                # hop is ready.append itself (see module docstring).
+                # Branch on the computed time, exactly as call_at does:
+                # a positive delay small enough to round away must still
+                # ride the ready deque, never leave a stale now-entry on
+                # the heap.
+                self.waiting_on = target
+                ready_append = sim._ready.append
+                fire = (self._timeout_fire, (target.value, token))
+                when = sim._now + target.delay
+                if when > sim._now:
+                    heappush(sim._queue,
+                             (when, next(sim._seq), ready_append, (fire,)))
+                else:
+                    ready_append((ready_append, (fire,)))
+                return
+            if cls is Charge:
+                # Inline of _start_charge_pair's first iteration for the
+                # overwhelmingly common shape — a single positive-cost
+                # pair — to skip a call per charge.  Must stay an exact
+                # mirror of that method.
+                cost = target.pairs[0][1]
+                if cost > 0:
+                    self._charge = target
+                    self._charge_i = 0
+                    sched = target.cpu._sched
+                    if sched._locked:
+                        waiter = sched.enqueue(target.priority)
+                        self._charge_waiter = waiter
+                        self.waiting_on = waiter.event
+                        waiter.event.add_callback(self._charge_cb)
+                    else:
+                        sched._locked = True
+                        self._charge_waiter = None
+                        self.waiting_on = target
+                        ready_append = sim._ready.append
+                        fire = (self._charge_fire, (token,))
+                        when = sim._now + cost
+                        if when > sim._now:
+                            heappush(sim._queue,
+                                     (when, next(sim._seq),
+                                      ready_append, (fire,)))
+                        else:
+                            ready_append((ready_append, (fire,)))
+                    return
+                status = self._start_charge_pair(target, 0, token)
+                if status is None:
+                    return  # queued for the CPU or sleeping on a pair
+            elif isinstance(target, Event):
+                self.waiting_on = target
+                target.add_callback(self._event_cb)
+                return
+            else:
+                self._finish_fail(
+                    SimulationError(
+                        "process %r yielded %r; expected Timeout, Charge, "
+                        "Event, or Process" % (self, target)
+                    )
                 )
-            )
+                return
+            # The charge finished (or failed) without suspending:
+            # continue the generator within this same engine item.
+            sim.current = self
+            try:
+                if status is True:
+                    target = gen.send(None)
+                else:  # a validation error to raise at the yield site
+                    target = gen.throw(status)
+            except StopIteration as stop:
+                sim.current = None
+                self._finish_ok(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001
+                sim.current = None
+                self._finish_fail(exc)
+                return
+            sim.current = None
+
+    # ------------------------------------------------------------------
+    # Charge execution.  One CPU charge = acquire the scheduler lock at
+    # the charge's priority, sleep its cost, release, account — repeated
+    # per (layer, cost) pair without resuming the generator in between.
+    # Every engine interaction (lock waiter enqueue, hand-off dispatch,
+    # timer hop and fire, release hand-off) consumes sequence numbers at
+    # exactly the moments the equivalent charging subgenerator did, so
+    # the simulated schedule is bit-identical.
+    # ------------------------------------------------------------------
+
+    def _start_charge_pair(self, charge, i, token):
+        """Begin billing ``charge.pairs[i:]``.
+
+        Returns None if the process suspended (queued for the CPU or
+        sleeping the pair's cost), True if every remaining pair cost
+        zero (the charge is complete), or an exception to raise in the
+        generator (negative cost).
+        """
+        pairs = charge.pairs
+        n = charge.n
+        while i < n:
+            cost = pairs[i][1]
+            if cost == 0:
+                i += 1
+                continue
+            if cost < 0:
+                self._charge = None
+                return ValueError("negative CPU cost: %r" % cost)
+            self._charge = charge
+            self._charge_i = i
+            sched = charge.cpu._sched
+            if sched._locked:
+                waiter = sched.enqueue(charge.priority)
+                self._charge_waiter = waiter
+                self.waiting_on = waiter.event
+                waiter.event.add_callback(self._charge_cb)
+            else:
+                sched._locked = True
+                self._charge_waiter = None
+                self.waiting_on = charge
+                sim = self._sim
+                ready_append = sim._ready.append
+                fire = (self._charge_fire, (token,))
+                when = sim._now + cost
+                if when > sim._now:
+                    heappush(sim._queue,
+                             (when, next(sim._seq), ready_append, (fire,)))
+                else:
+                    ready_append((ready_append, (fire,)))
+            return None
+        self._charge = None
+        return True
+
+    def _on_charge_lock(self, event):
+        """The CPU lock was handed to this process's queued waiter."""
+        if event is not self.waiting_on or not self._alive:
+            return  # reneged (interrupt); release() forwarding handles it
+        charge = self._charge
+        cost = charge.pairs[self._charge_i][1]
+        self._charge_waiter = None
+        self.waiting_on = charge
+        sim = self._sim
+        token = self._wait_token
+        ready_append = sim._ready.append
+        fire = (self._charge_fire, (token,))
+        when = sim._now + cost
+        if when > sim._now:
+            heappush(sim._queue,
+                     (when, next(sim._seq), ready_append, (fire,)))
+        else:
+            ready_append((ready_append, (fire,)))
+
+    def _charge_fire(self, token):
+        """A charge pair's sleep elapsed: release, account, next pair."""
+        if token is not self._wait_token or not self._alive:
+            return
+        sim = self._sim
+        # The whole fire runs as this process, exactly as it did when the
+        # release/accounting code lived inside a resumed subgenerator —
+        # the tracer reads sim.current to attribute spans.
+        sim.current = self
+        charge = self._charge
+        cpu = charge.cpu
+        sched = cpu._sched
+        if sched._heap:
+            sched.release()
+        else:
+            sched._locked = False
+        i = self._charge_i
+        layer, cost = charge.pairs[i]
+        cpu.busy_time += cost
+        cpu.charge_count += 1
+        accounting = charge.accounting
+        if accounting.enabled:
+            accounting.totals[layer] += cost
+            accounting.counts[layer] += 1
+            tracer = accounting.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.record(accounting.owner, layer, cost)
+        i += 1
+        if i < charge.n:
+            status = self._start_charge_pair(charge, i, token)
+            if status is None:
+                sim.current = None
+                return  # next pair queued or sleeping
+        else:  # last pair done — the single-pair common case
+            self._charge = None
+            status = True
+        self.waiting_on = None
+        try:
+            if status is True:
+                target = self._generator.send(None)
+            else:
+                target = self._generator.throw(status)
+        except StopIteration as stop:
+            sim.current = None
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            sim.current = None
+            self._finish_fail(exc)
+            return
+        sim.current = None
+        self._wait_for(target)
 
     def _finish_ok(self, value):
         self._alive = False

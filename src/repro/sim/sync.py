@@ -19,6 +19,7 @@ from collections import deque
 from itertools import count
 
 from repro.sim.errors import SimulationError
+from repro.sim.events import Event
 
 
 class _Waiter:
@@ -39,6 +40,7 @@ class Lock:
         self._locked = False
         self._waiters = deque()
         self.name = name
+        self._waiter_name = "lock:%s" % name
 
     @property
     def locked(self):
@@ -49,7 +51,7 @@ class Lock:
         if not self._locked:
             self._locked = True
             return
-        waiter = _Waiter(self._sim.event("lock:%s" % self.name))
+        waiter = _Waiter(self._sim.event(self._waiter_name))
         self._waiters.append(waiter)
         try:
             yield waiter.event
@@ -97,6 +99,7 @@ class PriorityLock:
         self._live = 0
         self._seq = count()
         self.name = name
+        self._waiter_name = "plock:%s" % name
 
     @property
     def locked(self):
@@ -106,18 +109,47 @@ class PriorityLock:
         if not self._locked:
             self._locked = True
             return
-        waiter = _Waiter(self._sim.event("plock:%s" % self.name))
-        heapq.heappush(self._heap, (priority, next(self._seq), waiter))
-        self._live += 1
+        waiter = self.enqueue(priority)
         try:
             yield waiter.event
         except BaseException:
-            if waiter.alive:
-                waiter.alive = False
-                self._live -= 1
+            self.withdraw(waiter)
             if waiter.event.triggered:
                 self.release()
             raise
+
+    def try_acquire(self):
+        """Non-blocking acquire; returns True on success.
+
+        Lets uncontended callers skip creating an :meth:`acquire`
+        generator — the hand-off semantics are unchanged because an
+        uncontended ``acquire`` never yields anyway.
+        """
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def enqueue(self, priority):
+        """Register a blocked acquirer; returns its :class:`_Waiter`.
+
+        The contended half of :meth:`acquire`, split out so hot callers
+        can wait on ``waiter.event`` in their own generator frame
+        instead of delegating into a fresh one.  Such a caller owns the
+        renege duty: on an exception during the wait it must mark the
+        waiter dead (``withdraw``) and, if the event already triggered,
+        forward the hand-off with :meth:`release`.
+        """
+        waiter = _Waiter(Event(self._sim, name=self._waiter_name))
+        heapq.heappush(self._heap, (priority, next(self._seq), waiter))
+        self._live += 1
+        return waiter
+
+    def withdraw(self, waiter):
+        """Renege a queued ``waiter`` (lazy removal; see :meth:`enqueue`)."""
+        if waiter.alive:
+            waiter.alive = False
+            self._live -= 1
 
     def release(self):
         if not self._locked:
@@ -148,12 +180,13 @@ class Condition:
         self.lock = lock if lock is not None else Lock(sim, name + ".lock")
         self._waiters = deque()
         self.name = name
+        self._waiter_name = "cond:%s" % name
 
     def wait(self):
         """``yield from cond.wait()`` — caller must hold the lock."""
         if not self.lock.locked:
             raise SimulationError("wait() on %r without holding its lock" % self)
-        waiter = _Waiter(self._sim.event("cond:%s" % self.name))
+        waiter = _Waiter(self._sim.event(self._waiter_name))
         self._waiters.append(waiter)
         self.lock.release()
         try:
@@ -195,6 +228,7 @@ class Semaphore:
         self._value = value
         self._waiters = deque()
         self.name = name
+        self._waiter_name = "sem:%s" % name
 
     @property
     def value(self):
@@ -205,7 +239,7 @@ class Semaphore:
         if self._value > 0:
             self._value -= 1
             return
-        waiter = _Waiter(self._sim.event("sem:%s" % self.name))
+        waiter = _Waiter(self._sim.event(self._waiter_name))
         self._waiters.append(waiter)
         try:
             yield waiter.event
@@ -253,6 +287,8 @@ class Channel:
         self._getters = deque()
         self._putters = deque()
         self.name = name
+        self._put_name = "chan.put:%s" % name
+        self._get_name = "chan.get:%s" % name
 
     def __len__(self):
         return len(self._items)
@@ -273,7 +309,7 @@ class Channel:
     def put(self, item):
         """``yield from chan.put(item)``"""
         while self._capacity is not None and len(self._items) >= self._capacity:
-            waiter = _Waiter(self._sim.event("chan.put:%s" % self.name))
+            waiter = _Waiter(self._sim.event(self._put_name))
             self._putters.append(waiter)
             try:
                 yield waiter.event
@@ -296,7 +332,7 @@ class Channel:
     def get(self):
         """``item = yield from chan.get()``"""
         while not self._items:
-            waiter = _Waiter(self._sim.event("chan.get:%s" % self.name))
+            waiter = _Waiter(self._sim.event(self._get_name))
             self._getters.append(waiter)
             try:
                 yield waiter.event

@@ -266,17 +266,19 @@ class NetworkStack:
         data = bytes(data)
         sent = 0
         self._trace_send_entry(len(data))
-        yield from self.ctx.charge_lock(Layer.ENTRY_COPYIN)
+        yield self.ctx.charge_lock(Layer.ENTRY_COPYIN)
         while sent < len(data):
             taken = session.conn.send(data[sent:])
             if taken:
                 if self.shared_buffers:
-                    yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.mbuf_alloc)
+                    yield self.ctx.charge(Layer.ENTRY_COPYIN, p.mbuf_alloc)
                 else:
-                    yield from self.ctx.charge(
-                        Layer.ENTRY_COPYIN, p.mbuf_alloc
-                    )
-                    yield from self.ctx.charge_copy(Layer.ENTRY_COPYIN, taken)
+                    self.ctx.crossings.data_copies += 1
+                    yield self.ctx.charge_batch((
+                        (Layer.ENTRY_COPYIN, p.mbuf_alloc),
+                        (Layer.ENTRY_COPYIN,
+                         p.copy_fixed + p.copy_per_byte * taken),
+                    ))
                 self.mbuf_stats.allocated += 1
                 sent += taken
                 yield from self._tcp_drain(session)
@@ -300,11 +302,11 @@ class NetworkStack:
                     adopt_trace(self.ctx.sim, session.last_rx_trace)
                 data = conn.receive(max_bytes)
                 if self.shared_buffers:
-                    yield from self.ctx.charge(
+                    yield self.ctx.charge(
                         Layer.COPYOUT_EXIT, self.ctx.params.proc_call
                     )
                 else:
-                    yield from self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(data))
+                    yield self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(data))
                 yield from self._tcp_drain(session)  # window updates
                 return data
             if conn.at_eof():
@@ -448,22 +450,27 @@ class NetworkStack:
             raise ValueError("unconnected UDP send needs a destination")
         self._trace_send_entry(len(data))
         if self.udp_send_copies and not self.shared_buffers:
-            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.socket_layer)
-            yield from self.ctx.charge_copy(Layer.ENTRY_COPYIN, len(data))
-            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.mbuf_alloc)
+            self.ctx.crossings.data_copies += 1
+            yield self.ctx.charge_batch((
+                (Layer.ENTRY_COPYIN, p.socket_layer),
+                (Layer.ENTRY_COPYIN,
+                 p.copy_fixed + p.copy_per_byte * len(data)),
+                (Layer.ENTRY_COPYIN, p.mbuf_alloc),
+            ))
         else:
             # The library references the caller's data in place: entry is
             # a procedure call (Table 4: 6-7 us flat for library UDP).
-            yield from self.ctx.charge(Layer.ENTRY_COPYIN, p.proc_call)
+            yield self.ctx.charge(Layer.ENTRY_COPYIN, p.proc_call)
         self.mbuf_stats.allocated += 1
         datagram = udp.encapsulate(
             self.env.local_ip, dst[0], session.local[1], dst[1], data
         )
-        yield from self.ctx.charge_checksum(Layer.TCP_UDP_OUTPUT, len(datagram))
-        yield from self.ctx.charge(
-            Layer.TCP_UDP_OUTPUT,
-            p.header_build + p.socket_layer + self.ctx.locks.lock_cost,
-        )
+        yield self.ctx.charge_batch((
+            (Layer.TCP_UDP_OUTPUT,
+             p.checksum_fixed + p.checksum_per_byte * len(datagram)),
+            (Layer.TCP_UDP_OUTPUT,
+             p.header_build + p.socket_layer + self.ctx.locks.lock_cost),
+        ))
         yield from self.ip_output(ip.PROTO_UDP, dst[0], datagram)
 
     def udp_recv(self, session, timeout_us=None):
@@ -483,9 +490,9 @@ class NetworkStack:
         if rx_trace is not None:
             adopt_trace(self.ctx.sim, rx_trace)
         if self.shared_buffers:
-            yield from self.ctx.charge(Layer.COPYOUT_EXIT, self.ctx.params.proc_call)
+            yield self.ctx.charge(Layer.COPYOUT_EXIT, self.ctx.params.proc_call)
         else:
-            yield from self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(payload))
+            yield self.ctx.charge_copy(Layer.COPYOUT_EXIT, len(payload))
         return src, payload
 
     def udp_close(self, session):
@@ -524,7 +531,7 @@ class NetworkStack:
         the MTU when necessary."""
         p = self.ctx.params
         self._ip_ident = (self._ip_ident + 1) & 0xFFFF
-        yield from self.ctx.charge(Layer.IP_OUTPUT, p.ip_output_overhead)
+        yield self.ctx.charge(Layer.IP_OUTPUT, p.ip_output_overhead)
         packet = ip.encapsulate(
             self.env.local_ip, dst_ip, proto, payload, ident=self._ip_ident,
             ttl=ttl if ttl is not None else ip.DEFAULT_TTL,
@@ -544,13 +551,14 @@ class NetworkStack:
         while conn.has_output():
             for seg in conn.take_output():
                 p = self.ctx.params
-                yield from self.ctx.charge(
-                    Layer.TCP_UDP_OUTPUT,
-                    p.header_build + p.socket_layer + self.ctx.locks.lock_cost,
-                )
-                yield from self.ctx.charge_checksum(
-                    Layer.TCP_UDP_OUTPUT, len(seg.payload) + 20
-                )
+                yield self.ctx.charge_batch((
+                    (Layer.TCP_UDP_OUTPUT,
+                     p.header_build + p.socket_layer
+                     + self.ctx.locks.lock_cost),
+                    (Layer.TCP_UDP_OUTPUT,
+                     p.checksum_fixed
+                     + p.checksum_per_byte * (len(seg.payload) + 20)),
+                ))
                 packed = seg.pack(self.env.local_ip, conn.remote[0])
                 yield from self.ip_output(ip.PROTO_TCP, conn.remote[0], packed)
         self._maybe_reap(session)
@@ -566,7 +574,7 @@ class NetworkStack:
         input (including the checksum over the data), and user wakeup.
         """
         p = self.ctx.params
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.MBUF_QUEUE, p.mbuf_alloc + self.ctx.locks.lock_cost
         )
         self.mbuf_stats.allocated += 1
@@ -574,7 +582,7 @@ class NetworkStack:
             _eth, packet = ethernet.decapsulate(frame)
         except ValueError:
             return
-        yield from self.ctx.charge(Layer.IPINTR, p.ipintr_overhead)
+        yield self.ctx.charge(Layer.IPINTR, p.ipintr_overhead)
         try:
             packet = self.reassembler.input(packet)
         except ValueError:
@@ -598,12 +606,12 @@ class NetworkStack:
 
     def _tcp_input(self, header, payload):
         p = self.ctx.params
-        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        yield self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
         try:
             seg = TCPSegment.unpack(header.src, header.dst, payload)
         except ValueError:
             return  # corrupt segment: drop silently, as TCP does
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.TCP_UDP_INPUT,
             p.header_build + self.ctx.locks.lock_cost + p.socket_layer,
         )
@@ -683,15 +691,15 @@ class NetworkStack:
 
     def _udp_input(self, header, payload, packet=None):
         p = self.ctx.params
-        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        yield self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
         try:
             uh, data = udp.decapsulate(header.src, header.dst, payload)
         except ValueError:
             return
-        yield from self.ctx.charge(
-            Layer.TCP_UDP_INPUT, p.header_build + self.ctx.locks.lock_cost
-        )
-        yield from self.ctx.charge(Layer.TCP_UDP_INPUT, p.socket_layer)
+        yield self.ctx.charge_batch((
+            (Layer.TCP_UDP_INPUT, p.header_build + self.ctx.locks.lock_cost),
+            (Layer.TCP_UDP_INPUT, p.socket_layer),
+        ))
         session = self._udp.get((uh.dst_port, header.src, uh.src_port))
         if session is None:
             session = self._udp.get((uh.dst_port, None, None))
@@ -711,19 +719,19 @@ class NetworkStack:
     def _send_port_unreachable(self, header, original_packet):
         message = icmp.ICMPMessage.port_unreachable(original_packet)
         self.icmp_errors_sent += 1
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.TCP_UDP_OUTPUT, self.ctx.params.header_build
         )
         yield from self.ip_output(ip.PROTO_ICMP, header.src, message.pack())
 
     def _icmp_input(self, header, payload):
         p = self.ctx.params
-        yield from self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
+        yield self.ctx.charge_checksum(Layer.TCP_UDP_INPUT, len(payload))
         try:
             message = icmp.ICMPMessage.unpack(payload)
         except ValueError:
             return
-        yield from self.ctx.charge(Layer.TCP_UDP_INPUT, p.header_build)
+        yield self.ctx.charge(Layer.TCP_UDP_INPUT, p.header_build)
         if message.type == icmp.TYPE_ECHO_REQUEST:
             self.icmp_echoes_answered += 1
             reply = message.echo_reply()
@@ -838,7 +846,7 @@ class NetworkStack:
     def _wake(self, notifier, selected=False):
         """Fire a notifier, charging the wakeup cost if anyone is waiting."""
         if notifier.waiters:
-            yield from self.ctx.charge_wakeup(Layer.WAKEUP_USER)
+            yield self.ctx.charge_wakeup(Layer.WAKEUP_USER)
         notifier.fire()
         if selected:
             self.select_notify.fire()

@@ -5,6 +5,8 @@ a high-resolution timer"; we accumulate the simulated CPU charges instead,
 attributed to the same layer names the paper reports.
 """
 
+from collections import defaultdict
+
 
 class Layer:
     """Table 4's component names."""
@@ -52,9 +54,11 @@ class LayerAccounting:
     kernel paths attribute costs by calling :meth:`add` directly.
     """
 
+    __slots__ = ("totals", "counts", "enabled", "tracer", "owner")
+
     def __init__(self):
-        self.totals = {}
-        self.counts = {}
+        self.totals = defaultdict(float)
+        self.counts = defaultdict(int)
         self.enabled = True
         self.tracer = None
         self.owner = ""
@@ -62,10 +66,13 @@ class LayerAccounting:
     def add(self, layer, cost):
         if not self.enabled:
             return
-        self.totals[layer] = self.totals.get(layer, 0.0) + cost
-        self.counts[layer] = self.counts.get(layer, 0) + 1
-        if self.tracer is not None:
-            self.tracer.record(self.owner, layer, cost)
+        self.totals[layer] += cost
+        self.counts[layer] += 1
+        tracer = self.tracer
+        # Check .enabled here too so a disabled recorder costs nothing
+        # beyond the attribute test (it would return immediately anyway).
+        if tracer is not None and tracer.enabled:
+            tracer.record(self.owner, layer, cost)
 
     def total(self, layer):
         return self.totals.get(layer, 0.0)
@@ -95,6 +102,8 @@ class CrossingCounter:
     fast path, the library placement crosses the user/kernel boundary
     once each way and never talks to the OS server.
     """
+
+    __slots__ = ("user_kernel", "server_rpcs", "data_copies")
 
     def __init__(self):
         self.user_kernel = 0

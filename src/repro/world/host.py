@@ -116,7 +116,7 @@ class ArpService:
     def _responder(self):
         while True:
             frame = yield from self._queue.get()
-            yield from self.ctx.charge(Layer.NETISR_FILTER, self.ctx.params.header_build)
+            yield self.ctx.charge(Layer.NETISR_FILTER, self.ctx.params.header_build)
             try:
                 _eth, payload = ethernet.decapsulate(frame)
                 packet = arp.ArpPacket.unpack(payload)
@@ -139,7 +139,7 @@ class ArpService:
     def resolve(self, ctx, next_hop_ip):
         """Resolve ``next_hop_ip`` to a MAC, performing the ARP exchange
         on a miss.  Charges a small lookup cost to the caller."""
-        yield from ctx.charge(Layer.ETHER_OUTPUT, ctx.params.proc_call)
+        yield ctx.charge(Layer.ETHER_OUTPUT, ctx.params.proc_call)
         mac = self.cache.lookup(next_hop_ip)
         if mac is not None:
             return mac

@@ -89,7 +89,7 @@ class Router:
 
     def _input(self, iface, frame):
         p = self.ctx.params
-        yield from self.ctx.charge(Layer.DEVICE_READ,
+        yield self.ctx.charge(Layer.DEVICE_READ,
                                    p.interrupt_entry
                                    + p.devmem_read_per_byte * len(frame))
         try:
@@ -109,7 +109,7 @@ class Router:
         iface.arp_cache.insert(packet.sender_ip, packet.sender_mac)
         iface.arp_notify.fire()
         if packet.op == arp.OP_REQUEST and packet.target_ip == iface.ip:
-            yield from self.ctx.charge(Layer.NETISR_FILTER,
+            yield self.ctx.charge(Layer.NETISR_FILTER,
                                        self.ctx.params.header_build)
             reply = packet.reply_from(iface.mac)
             frame = ethernet.encapsulate(
@@ -120,7 +120,7 @@ class Router:
 
     def _ip_input(self, in_iface, packet):
         p = self.ctx.params
-        yield from self.ctx.charge(Layer.IPINTR, p.ipintr_overhead)
+        yield self.ctx.charge(Layer.IPINTR, p.ipintr_overhead)
         try:
             header = ip.IPHeader.unpack(packet)
         except ValueError:
@@ -145,7 +145,7 @@ class Router:
         )
         next_hop = header.dst if route.is_direct else route.gateway
         self.forwarded += 1
-        yield from self.ctx.charge(Layer.IP_OUTPUT, p.ip_output_overhead)
+        yield self.ctx.charge(Layer.IP_OUTPUT, p.ip_output_overhead)
         for frag in ip.fragment(rewritten, ethernet.MTU):
             yield from self._output(route.iface, next_hop, frag)
 
@@ -196,7 +196,7 @@ class Router:
 
     def _transmit(self, iface, frame):
         p = self.ctx.params
-        yield from self.ctx.charge(
+        yield self.ctx.charge(
             Layer.ETHER_OUTPUT,
             p.ether_overhead + p.devmem_write_per_byte * len(frame),
         )

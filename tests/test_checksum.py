@@ -76,3 +76,30 @@ def test_checksum_incremental_split(a, b):
     direct = internet_checksum(a + b)
     split = internet_checksum(b, initial=_raw_sum(a))
     assert direct == split
+
+
+@given(st.binary(min_size=0, max_size=2048))
+def test_memoryview_and_bytearray_inputs_match_bytes(data):
+    """The zero-copy paths hand the checksum memoryviews and bytearrays;
+    all buffer types must agree with the bytes result, odd lengths
+    included."""
+    expected = internet_checksum(data)
+    assert internet_checksum(memoryview(data)) == expected
+    assert internet_checksum(bytearray(data)) == expected
+    view = memoryview(bytes(1) + data)[1:]  # non-zero-offset view
+    assert internet_checksum(view) == expected
+
+
+@given(st.binary(min_size=1, max_size=1024).filter(lambda d: len(d) % 2))
+def test_odd_length_equals_zero_padded(data):
+    """RFC 1071 pads odd-length data with a zero byte; the single-int
+    fast path must do the same implicitly."""
+    assert internet_checksum(data) == internet_checksum(data + b"\x00")
+
+
+def test_ffff_multiples_fold_correctly():
+    # The mod-0xFFFF fast path has one trap: a nonzero word sum that is
+    # an exact multiple of 0xFFFF must fold to 0xFFFF, never to 0.
+    assert internet_checksum(b"\xff\xff") == 0x0000
+    assert internet_checksum(b"\xff\xff" * 37) == 0x0000
+    assert internet_checksum(b"\x00" * 10) == 0xFFFF

@@ -137,3 +137,43 @@ def test_mincl_size_boundary():
     big = Mbuf.from_bytes(b"a" * MINCLSIZE)
     assert not small.is_cluster
     assert big.is_cluster
+
+
+def test_from_bytes_copies_memoryview_input_once():
+    # Zero-copy ingest: a memoryview is accepted directly (no bytes()
+    # materialisation), and the single copy happens into the mbuf
+    # buffers — mutating the source afterwards must not alias the chain.
+    source = bytearray(b"q" * 3000)
+    m = Mbuf.from_bytes(memoryview(source))
+    source[:] = b"X" * 3000
+    assert m.to_bytes() == b"q" * 3000
+
+
+def test_copy_window_spanning_clusters_does_not_flatten():
+    # The double-copy regression: copy() used to flatten the whole chain
+    # (one copy) and then slice it (a second copy).  The gather-as-views
+    # version must still be exact across cluster boundaries.
+    data = bytes(range(256)) * 20  # > 2 clusters
+    m = Mbuf.from_bytes(data)
+    assert m.chain_count() >= 3
+    window = m.copy(MCLBYTES - 7, 100)
+    assert window.to_bytes() == data[MCLBYTES - 7 : MCLBYTES - 7 + 100]
+    assert m.to_bytes() == data  # source untouched
+
+
+def test_pullup_keeps_tail_buffers_in_place():
+    # pullup() gathers only the head bytes; mbufs past the pulled range
+    # keep their buffers (their windows just move) instead of the chain
+    # being flattened and rebuilt.
+    data = b"h" * 60 + b"t" * 4000
+    m = Mbuf.from_bytes(data)
+    last = m
+    while last.next is not None:
+        last = last.next
+    last_buf = last.buf
+    m.pullup(70)
+    tail = m
+    while tail.next is not None:
+        tail = tail.next
+    assert tail.buf is last_buf
+    assert m.to_bytes() == data
