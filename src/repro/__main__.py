@@ -1,12 +1,24 @@
-"""``python -m repro`` — a one-minute demonstration.
+"""``python -m repro`` — demos and introspection tools.
 
-Runs a TCP exchange over the paper's decomposed architecture, prints a
-netstat-style view of both hosts mid-flight, and finishes with a
-miniature of Table 2 (one throughput number per placement).
+Subcommands::
+
+    python -m repro               # the classic one-minute demo
+    python -m repro demo          # same, explicitly
+    python -m repro netstat       # canned world, netstat-style report
+    python -m repro probe         # metrics-enabled TCP transfer: cwnd
+                                  # time series + telemetry summary
+
+``netstat`` and ``probe`` build a small canned world, run a workload,
+and pretty-print what the observability layers saw.  ``probe`` can also
+export the tcp_probe series (``--jsonl``/``--csv``) and emit a
+markdown summary for CI step summaries (``--markdown``).
 
 For the full evaluation, run ``pytest benchmarks/ --benchmark-only`` or
 ``python -m repro.analysis.report``.
 """
+
+import argparse
+import sys
 
 from repro.analysis.netstat import format_report, host_report
 from repro.apps.ttcp import ttcp
@@ -66,6 +78,137 @@ def demo_throughput():
     print("Full evaluation: pytest benchmarks/ --benchmark-only")
 
 
-if __name__ == "__main__":
+def cmd_demo(_args):
     demo_exchange()
     demo_throughput()
+    return 0
+
+
+def cmd_netstat(args):
+    """Run a short transfer with telemetry on, then report both hosts."""
+    network, pa, pb = build_network(args.config)
+    network.metrics.enable()
+    result = ttcp(network, pb, pa, total_bytes=args.bytes,
+                  rcvbuf_kb=CONFIGS[args.config].best_rcvbuf_kb)
+    print("%s: moved %d bytes at %.0f KB/s (simulated)\n"
+          % (args.config, result.bytes_moved, result.throughput_kbs))
+    for placement in (pa, pb):
+        print(format_report(host_report(placement)))
+        print()
+    return 0
+
+
+def _ascii_chart(points, width=64, height=12):
+    """Plot (t, value) points as a crude terminal chart."""
+    numeric = [(t, v) for t, v in points if isinstance(v, (int, float))]
+    if len(numeric) < 2:
+        return "(not enough samples to chart)"
+    t0, t1 = numeric[0][0], numeric[-1][0]
+    vmax = max(v for _t, v in numeric)
+    vmin = min(v for _t, v in numeric)
+    span_t = (t1 - t0) or 1.0
+    span_v = (vmax - vmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in numeric:
+        x = min(width - 1, int((t - t0) / span_t * (width - 1)))
+        y = min(height - 1, int((v - vmin) / span_v * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = []
+    for i, row in enumerate(grid):
+        label = vmax if i == 0 else (vmin if i == height - 1 else None)
+        prefix = "%8s |" % ("%g" % label if label is not None else "")
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + "t=%.0fus .. %.0fus" % (t0, t1))
+    return "\n".join(lines)
+
+
+def cmd_probe(args):
+    from repro.analysis.timeseries import (
+        export_csv,
+        export_jsonl,
+        probe_summary,
+        probe_summary_markdown,
+    )
+
+    network, pa, pb = build_network(args.config)
+    network.metrics.enable()
+    result = ttcp(network, pb, pa, total_bytes=args.bytes,
+                  rcvbuf_kb=CONFIGS[args.config].best_rcvbuf_kb)
+    metrics = network.metrics
+
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            lines = export_jsonl(metrics, handle)
+        print("wrote %d samples to %s" % (lines, args.jsonl),
+              file=sys.stderr)
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            rows = export_csv(metrics, handle)
+        print("wrote %d rows to %s" % (rows, args.csv), file=sys.stderr)
+
+    if args.markdown:
+        print("### tcp_probe summary (%s, %d bytes, %.0f KB/s simulated)"
+              % (args.config, result.bytes_moved, result.throughput_kbs))
+        print()
+        print(probe_summary_markdown(metrics), end="")
+        return 0
+
+    print("%s: moved %d bytes at %.0f KB/s (simulated)\n"
+          % (args.config, result.bytes_moved, result.throughput_kbs))
+    summary = probe_summary(metrics)
+    for name in sorted(summary):
+        row = summary[name]
+        print("%-36s %5d samples  cwnd %s..%s  srtt %s..%s"
+              % (name, row["samples"],
+                 row["cwnd"]["min"], row["cwnd"]["max"],
+                 row["srtt"]["min"], row["srtt"]["max"]))
+    # Chart the busiest connection's congestion window.
+    busiest = max(metrics.tcp_probes, default=None,
+                  key=lambda p: p.series.recorded)
+    if busiest is not None and busiest.series.samples:
+        print("\ncwnd over time — %s" % busiest.series.name)
+        print(_ascii_chart(busiest.series.column("cwnd")))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Demos and introspection for the simulated world.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="the one-minute demo (default)")
+
+    p_netstat = sub.add_parser(
+        "netstat", help="run a canned transfer, print netstat reports")
+    p_netstat.add_argument("--config", default="library-shm-ipf",
+                           choices=sorted(CONFIGS),
+                           help="world configuration (default %(default)s)")
+    p_netstat.add_argument("--bytes", type=int, default=256 * 1024,
+                           help="transfer size (default %(default)s)")
+
+    p_probe = sub.add_parser(
+        "probe", help="metrics-enabled TCP transfer; tcp_probe series")
+    p_probe.add_argument("--config", default="library-shm-ipf",
+                         choices=sorted(CONFIGS),
+                         help="world configuration (default %(default)s)")
+    p_probe.add_argument("--bytes", type=int, default=512 * 1024,
+                         help="transfer size (default %(default)s)")
+    p_probe.add_argument("--jsonl", metavar="PATH",
+                         help="export every series as JSON Lines")
+    p_probe.add_argument("--csv", metavar="PATH",
+                         help="export every series as long-format CSV")
+    p_probe.add_argument("--markdown", action="store_true",
+                         help="print only a markdown summary table "
+                              "(for CI step summaries)")
+
+    args = parser.parse_args(argv)
+    if args.command == "netstat":
+        return cmd_netstat(args)
+    if args.command == "probe":
+        return cmd_probe(args)
+    return cmd_demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

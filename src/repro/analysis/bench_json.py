@@ -38,8 +38,11 @@ from repro.world.configs import DECSTATION_ROWS, GATEWAY_ROWS
 #: Bump on any structural change to the emitted document.
 SCHEMA = "repro-bench/1"
 
-#: Keys excluded from regression comparison (non-deterministic).
-VOLATILE_KEYS = ("wall_clock_seconds", "wallclock")
+#: Keys excluded from regression comparison: wall-clock keys are
+#: non-deterministic; "metrics" is the optional telemetry block
+#: (deterministic, but only present when --metrics is passed, so the
+#: gate must not flag its absence from the baseline).
+VOLATILE_KEYS = ("wall_clock_seconds", "wallclock", "metrics")
 
 #: Default relative drift tolerance for the CI gate.
 DEFAULT_TOLERANCE = 0.01
@@ -153,6 +156,33 @@ def collect(log=None):
     return doc
 
 
+def collect_metrics_block(config_key="library-shm-ipf", platform="decstation",
+                          total_bytes=512 * 1024):
+    """One telemetry-enabled TCP transfer, condensed for the BENCH doc.
+
+    Separate from :func:`collect` (which runs everything with telemetry
+    off, keeping BENCH.json byte-identical to the baseline): this block
+    only appears under the volatile ``metrics`` key when the runner is
+    invoked with ``--metrics``.
+    """
+    from repro.analysis.timeseries import probe_summary
+    from repro.apps.ttcp import ttcp
+    from repro.world.configs import CONFIGS, build_network
+
+    net, src, dst = build_network(config_key, platform=platform)
+    net.metrics.enable()
+    result = ttcp(net, src, dst, total_bytes=total_bytes,
+                  rcvbuf_kb=CONFIGS[config_key].best_rcvbuf_kb)
+    snap = net.metrics.snapshot()
+    return {
+        "config": config_key,
+        "throughput_kbs": result.throughput_kbs,
+        "tcp_probes": probe_summary(net.metrics),
+        "rtt_ticks": snap["histograms"].get("tcp.rtt_ticks"),
+        "gauges": snap["gauges"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Regression comparison
 # ----------------------------------------------------------------------
@@ -217,6 +247,10 @@ def main(argv=None):
                              "document instead of running the harnesses")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="relative drift tolerance (default %(default)s)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="append a telemetry block (one metrics-enabled "
+                             "TCP run) under the volatile 'metrics' key; "
+                             "the drift gate ignores it")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress progress messages")
     args = parser.parse_args(argv)
@@ -228,6 +262,10 @@ def main(argv=None):
             doc = json.load(handle)
     else:
         doc = collect(log=log)
+    if args.metrics and "metrics" not in doc:
+        if log is not None:
+            log("telemetry: metrics-enabled TCP run ...")
+        doc["metrics"] = collect_metrics_block()
 
     if args.output:
         with open(args.output, "w") as handle:

@@ -148,12 +148,17 @@ def run_breakdown(config_key, proto, message_size, platform="decstation",
 
 
 def run_crossings(config_key, platform="decstation", rounds=20,
-                  message_size=64):
+                  message_size=64, telemetry=False):
     """Figure 1 as numbers: per-round-trip protection-boundary crossings,
-    OS-server RPCs, and data copies on the client of a TCP echo."""
+    OS-server RPCs, and data copies on the client of a TCP echo.
+
+    ``telemetry=True`` enables the world's metrics registry for the run;
+    the invariant tests use it to prove telemetry changes nothing."""
     from repro.net.addr import ip_aton
 
     net, pa, pb = build_network(config_key, platform=platform)
+    if telemetry:
+        net.metrics.enable()
     api_a = pa.new_app()
     api_b = pb.new_app()
     server_ip = ip_aton("10.0.0.1")
@@ -184,15 +189,19 @@ def run_crossings(config_key, platform="decstation", rounds=20,
     return {k: v / rounds for k, v in snap.items()}
 
 
-def run_proxy_calls(config_key="library-shm-ipf"):
+def run_proxy_calls(config_key="library-shm-ipf", telemetry=False):
     """Table 1 from a live system: server RPCs used per BSD socket call.
 
     Issues every Table 1 call against a library placement while counting
-    OS-server RPCs; returns ``{call: rpcs}``.
+    OS-server RPCs; returns ``{call: rpcs}``.  ``telemetry=True``
+    enables the metrics registry (the invariant tests compare against a
+    telemetry-free run).
     """
     from repro.net.addr import ip_aton
 
     net, pa, pb = build_network(config_key)
+    if telemetry:
+        net.metrics.enable()
     api_a = pa.new_app()
     api_b = pb.new_app()
     rpc = pb.server.rpc

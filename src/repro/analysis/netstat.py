@@ -18,7 +18,11 @@ def _addr(pair):
 
 
 def tcp_sessions(stack):
-    """Rows describing every TCP session in one stack."""
+    """Rows describing every TCP session in one stack.
+
+    Each row carries the classic netstat columns plus the live transport
+    gauges a tcp_probe would sample: cwnd, ssthresh, smoothed RTT, and
+    the buffer occupancy levels."""
     rows = []
     for (lport, rip, rport), session in sorted(
         stack._tcp.items(), key=lambda kv: (kv[0][0], kv[0][1] or 0)
@@ -32,14 +36,26 @@ def tcp_sessions(stack):
             "sndq": len(conn.snd_buffer),
             "rcvq": conn.receivable(),
             "retransmits": conn.stats.retransmits,
+            "cwnd": conn.cc.cwnd,
+            "ssthresh": conn.cc.ssthresh,
+            "srtt": conn.rtt.srtt,
+            "buffers": conn.buffer_levels(),
         })
     return rows
 
 
 def udp_sessions(stack):
+    """Rows for every UDP session, in stable (port, remote) order.
+
+    A connected session appears under both its wildcard and connected
+    keys in the demux table; rows are deduplicated by identity.  The
+    ``rcvq`` column is buffered bytes (like netstat's Recv-Q); the
+    queued datagram *count* and drop counter ride along."""
     rows = []
     seen = set()
-    for session in stack._udp.values():
+    for (lport, rip, rport), session in sorted(
+        stack._udp.items(), key=lambda kv: (kv[0][0], kv[0][1] or 0, kv[0][2] or 0)
+    ):
         if id(session) in seen:
             continue
         seen.add(id(session))
@@ -50,6 +66,8 @@ def udp_sessions(stack):
             "state": "-",
             "sndq": 0,
             "rcvq": session.queued_bytes,
+            "queued_datagrams": len(session.queue),
+            "drops": session.drops,
             "retransmits": 0,
         })
     return rows
@@ -69,8 +87,9 @@ def host_report(placement):
             row["where"] = where
             sessions.append(row)
     kernel = placement.host.kernel
+    host = placement.host
     report = {
-        "host": placement.host.name,
+        "host": host.name,
         "sessions": sessions,
         "filters": [
             {"name": handle.name, "matched": handle.matched}
@@ -78,8 +97,28 @@ def host_report(placement):
         ],
         "frames_demuxed": kernel.frames_demuxed,
         "frames_unmatched": kernel.frames_dropped_no_match,
-        "cpu_busy_us": placement.host.cpu.busy_time,
+        "cpu_busy_us": host.cpu.busy_time,
+        "cpu": host.cpu.snapshot(),
+        "nic": {
+            "frames_sent": host.nic.frames_sent,
+            "frames_received": host.nic.frames_received,
+            "frames_dropped": host.nic.frames_dropped,
+        },
     }
+    tracer = host.tracer
+    if tracer is not None:
+        report["tracer"] = {
+            "enabled": tracer.enabled,
+            "spans_recorded": tracer.spans_recorded,
+            "spans_retained": len(tracer.spans),
+        }
+    metrics = getattr(host, "metrics", None)
+    if metrics is not None:
+        report["metrics"] = {
+            "enabled": metrics.enabled,
+            "registered": len(metrics),
+            "tcp_probes": len(metrics.tcp_probes),
+        }
     if hasattr(backend, "migrations_out"):
         report["migrations_out"] = backend.migrations_out
         report["migrations_in"] = backend.migrations_in
@@ -126,13 +165,17 @@ def format_fault_report(report):
 def format_report(report):
     """Render a host report as netstat-ish text."""
     lines = ["Active sessions on %s" % report["host"]]
-    lines.append("%-5s %-22s %-22s %-12s %6s %6s  %s"
+    lines.append("%-5s %-22s %-22s %-12s %6s %6s %8s %6s  %s"
                  % ("Proto", "Local Address", "Foreign Address", "State",
-                    "SendQ", "RecvQ", "Where"))
+                    "SendQ", "RecvQ", "Cwnd", "SRTT", "Where"))
     for row in report["sessions"]:
-        lines.append("%-5s %-22s %-22s %-12s %6d %6d  %s"
+        cwnd = row.get("cwnd")
+        srtt = row.get("srtt")
+        lines.append("%-5s %-22s %-22s %-12s %6d %6d %8s %6s  %s"
                      % (row["proto"], row["local"], row["remote"],
                         row["state"], row["sndq"], row["rcvq"],
+                        "-" if cwnd is None else cwnd,
+                        "-" if srtt is None else srtt,
                         row["where"]))
     lines.append("")
     lines.append("Packet filters (%d installed, %d frames demuxed, "
@@ -141,6 +184,26 @@ def format_report(report):
                     report["frames_unmatched"]))
     for entry in report["filters"]:
         lines.append("  %-44s matched %d" % (entry["name"], entry["matched"]))
+    if "cpu" in report:
+        cpu = report["cpu"]
+        lines.append("")
+        lines.append("CPU: %.0fus busy (%.1f%% utilization), %d charges, "
+                     "%d contended"
+                     % (cpu["busy_us"], 100.0 * cpu["utilization"],
+                        cpu["charges"], cpu["contended"]))
+    if "tracer" in report or "metrics" in report:
+        tracer = report.get("tracer")
+        metrics = report.get("metrics")
+        parts = []
+        if tracer is not None:
+            parts.append("tracer %s (%d spans)"
+                         % ("on" if tracer["enabled"] else "off",
+                            tracer["spans_recorded"]))
+        if metrics is not None:
+            parts.append("metrics %s (%d registered, %d tcp probes)"
+                         % ("on" if metrics["enabled"] else "off",
+                            metrics["registered"], metrics["tcp_probes"]))
+        lines.append("Telemetry: " + ", ".join(parts))
     if "migrations_out" in report:
         lines.append("")
         lines.append("Session migrations: %d out to applications, %d back"

@@ -61,6 +61,12 @@ class CPU:
         if account is not None:
             account(cost)
 
+    @property
+    def scheduler(self):
+        """The :class:`PriorityLock` serializing charges (observers use
+        its ``contended`` count and ``depth_gauge`` telemetry hook)."""
+        return self._sched
+
     def utilization(self):
         """Fraction of elapsed simulated time this CPU spent busy."""
         if self._sim.now == 0:
@@ -70,6 +76,16 @@ class CPU:
     def contention(self):
         """Number of charges currently waiting for the CPU."""
         return self._sched.waiting()
+
+    def snapshot(self):
+        """Resource levels for telemetry (read-only)."""
+        return {
+            "busy_us": self.busy_time,
+            "utilization": self.utilization(),
+            "charges": self.charge_count,
+            "waiting": self._sched.waiting(),
+            "contended": self._sched.contended,
+        }
 
     def __repr__(self):
         return "<CPU %s busy=%.0fus>" % (self.name, self.busy_time)

@@ -60,6 +60,10 @@ class NIC:
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped = 0
+        #: Telemetry hooks (bound by MetricsRegistry.observe_host while
+        #: enabled; None costs one test on the hot paths).
+        self.rx_depth_gauge = None
+        self.tx_depth_gauge = None
         wire.attach(self)
         self._tx_proc = sim.spawn(self._transmitter(), name="%s.tx" % self.name)
 
@@ -80,11 +84,17 @@ class NIC:
         if trace_id is None:
             trace_id = current_trace(self._sim)
         yield from self._tx_ring.put(TaggedFrame.tag(bytes(frame), trace_id))
+        gauge = self.tx_depth_gauge
+        if gauge is not None:
+            gauge.record(len(self._tx_ring))
 
     def _transmitter(self):
         """Device process: drain the TX ring onto the wire, in order."""
         while True:
             frame = yield from self._tx_ring.get()
+            gauge = self.tx_depth_gauge
+            if gauge is not None:
+                gauge.record(len(self._tx_ring))
             yield from self._wire.transmit(frame, self)
             self.frames_sent += 1
 
@@ -108,12 +118,18 @@ class NIC:
         self._rx_buffered += 1
         self.rx_ring.try_put(frame)
         self.frames_received += 1
+        gauge = self.rx_depth_gauge
+        if gauge is not None:
+            gauge.record(self._rx_buffered)
 
     def rx_release(self):
         """The driver finished copying a frame out of device memory."""
         if self._rx_buffered <= 0:
             raise RuntimeError("rx_release() with empty ring on %r" % self)
         self._rx_buffered -= 1
+        gauge = self.rx_depth_gauge
+        if gauge is not None:
+            gauge.record(self._rx_buffered)
 
     def __repr__(self):
         return "<NIC %s mac=%s>" % (self.name, self.mac.hex(":"))

@@ -70,6 +70,9 @@ class EthernetWire:
         self._medium = Lock(sim, name=name)
         self.frames_carried = 0
         self.bytes_carried = 0
+        #: Cumulative serialization time (us): how long the shared medium
+        #: has been occupied.  busy_time / sim.now is wire utilization.
+        self.busy_time = 0.0
         self.fault_plan = None
         if fault_plan is None and (loss_rate or corrupt_rate):
             # Draw order matches the pre-pipeline code: one loss draw,
@@ -84,6 +87,12 @@ class EthernetWire:
         self.fault_plan = plan
         if plan is not None:
             plan.attach(self, self._sim)
+
+    def utilization(self):
+        """Fraction of elapsed simulated time the medium was occupied."""
+        if self._sim.now == 0:
+            return 0.0
+        return self.busy_time / self._sim.now
 
     @property
     def frames_lost(self):
@@ -114,11 +123,13 @@ class EthernetWire:
         senders queue (a simplification of CSMA/CD that preserves the
         aggregate 10 Mb/s ceiling).
         """
+        serialization_us = frame_time(len(frame), self.us_per_byte)
         yield from self._medium.acquire()
         try:
-            yield Timeout(frame_time(len(frame), self.us_per_byte))
+            yield Timeout(serialization_us)
         finally:
             self._medium.release()
+        self.busy_time += serialization_us
         self.frames_carried += 1
         self.bytes_carried += len(frame)
         if self.fault_plan is None:

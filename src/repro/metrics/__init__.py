@@ -1,0 +1,38 @@
+"""Continuous telemetry for the simulated world.
+
+The paper's evidence is aggregate (Table 1-4 means, Figure 1 counts) and
+the trace ring (:mod:`repro.trace`) adds the per-packet dimension; this
+package adds the *time* dimension: how congestion windows, RTT
+estimates, queue depths, and resource utilization evolve over simulated
+time — the tcp_probe / netstat-gauges half of a 1990s measurement rig.
+
+Everything hangs off one :class:`MetricsRegistry` attached to the
+:class:`~repro.world.network.Network` (``net.metrics``), **disabled by
+default** with the same contract as the trace recorder:
+
+* Disabled, observation points are ``None``-valued attributes costing a
+  single test on hot paths, and nothing is allocated or recorded —
+  BENCH.json stays byte-identical to the uninstrumented baseline.
+* Enabled, observation is *passive*: read-only hooks at existing choke
+  points, no new simulation processes, no CPU charges — every simulated
+  metric is still bit-identical (a standing invariant test).
+"""
+
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.metrics.tcp_probe import PROBE_FIELDS, TCPProbe
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "TCPProbe",
+    "PROBE_FIELDS",
+]

@@ -1,0 +1,54 @@
+"""A tcp_probe analog: per-connection congestion/RTT time series.
+
+Linux's ``tcp_probe`` module hooks the ACK-processing path and logs
+``(t, cwnd, ssthresh, srtt, ...)`` on every congestion-relevant event;
+this is the simulator's equivalent.  A :class:`TCPProbe` is bound to
+``conn.probe`` (``None`` while telemetry is disabled) and invoked by the
+protocol code at the end of each congestion/RTT update:
+
+* ``"established"`` — the three-way handshake completed (active side),
+* ``"ack"`` — a synchronized-state segment finished processing (this is
+  where cwnd growth and RTT updates land),
+* ``"fast_retransmit"`` — three duplicate ACKs collapsed the window,
+* ``"timeout"`` — the retransmission timer fired,
+* ``"persist"`` — a zero-window probe went out.
+
+The hooks fire *after* the state change and any output it triggered, so
+the final sample of a connection's series equals its ending
+``cc.cwnd`` / ``rtt.srtt`` exactly (a standing invariant test).
+``srtt``/``rttvar`` are recorded in the estimator's raw fixed-point
+units (srtt scaled by 8, rttvar by 4, slow ticks of 500 ms) so the
+series is bit-exact against the TCB; ``rto`` is in slow ticks.
+"""
+
+#: Value fields of each probe sample, after the leading timestamp.
+PROBE_FIELDS = ("event", "cwnd", "ssthresh", "srtt", "rttvar", "rto",
+                "flight", "snd_wnd")
+
+
+class TCPProbe:
+    """Records one connection's congestion trajectory into a series."""
+
+    __slots__ = ("conn", "series", "rtt_hist", "_registry", "_rtt_seen")
+
+    def __init__(self, registry, conn, series, rtt_hist=None):
+        self.conn = conn
+        self.series = series
+        self.rtt_hist = rtt_hist
+        self._registry = registry
+        self._rtt_seen = conn.rtt.samples
+
+    def __call__(self, event):
+        conn = self.conn
+        cc = conn.cc
+        rtt = conn.rtt
+        self.series.append(
+            self._registry.now(), event, cc.cwnd, cc.ssthresh, rtt.srtt,
+            rtt.rttvar, rtt.rto_ticks(), conn.flight_size(), conn.snd_wnd,
+        )
+        if self.rtt_hist is not None and rtt.samples > self._rtt_seen:
+            self._rtt_seen = rtt.samples
+            self.rtt_hist.observe(rtt.last_rtt)
+
+    def __repr__(self):
+        return "<TCPProbe %s n=%d>" % (self.series.name, self.series.recorded)

@@ -63,3 +63,14 @@ class CongestionControl:
         self.ssthresh = half_flight
         self.cwnd = self.mss
         self.dupacks = 0
+
+    def snapshot(self):
+        """Current congestion state for telemetry (read-only)."""
+        return {
+            "cwnd": self.cwnd,
+            "ssthresh": self.ssthresh,
+            "dupacks": self.dupacks,
+            "fast_retransmits": self.fast_retransmits,
+            "timeouts": self.timeouts,
+            "slow_start": self.in_slow_start(),
+        }

@@ -161,6 +161,10 @@ class TCPConnection:
         self.error = None  # a TCPError subclass instance once dead
         self.stats = TCPStats()
         self._outbox = []
+        #: Telemetry hook (a :class:`repro.metrics.TCPProbe` when the
+        #: world's metrics registry is enabled, else None).  Not part of
+        #: migrated state: the adopting stack attaches its own probe.
+        self.probe = None
 
     # ------------------------------------------------------------------
     # State handling
@@ -187,6 +191,16 @@ class TCPConnection:
 
     def effective_mss(self):
         return min(self.config.mss, self.peer_mss)
+
+    def buffer_levels(self):
+        """Socket-buffer occupancy for telemetry (read-only)."""
+        return {
+            "sndq": len(self.snd_buffer),
+            "snd_space": self.snd_buffer.space(),
+            "rcvq": len(self.rcv_buffer),
+            "rcv_space": self.rcv_buffer.space(),
+            "reass": len(self.reass),
+        }
 
     # ------------------------------------------------------------------
     # User calls (OPEN / SEND / RECEIVE / CLOSE / ABORT)

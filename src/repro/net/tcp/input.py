@@ -119,6 +119,9 @@ def _syn_sent_input(conn, seg):
         conn.set_state(TCPState.ESTABLISHED)
         conn.ack_now = True
         tcp_output.tcp_output(conn)
+        probe = conn.probe
+        if probe is not None:
+            probe("established")
     else:
         # Simultaneous open.
         conn.set_state(TCPState.SYN_RECEIVED)
@@ -173,6 +176,12 @@ def _synchronized_input(conn, seg):
 
     if conn.state != TCPState.CLOSED:
         tcp_output.tcp_output(conn)
+
+    # Telemetry: sample after the update AND any output it triggered, so
+    # the series' last sample equals the connection's final state.
+    probe = conn.probe
+    if probe is not None:
+        probe("ack")
 
 
 def _acceptable(conn, seg, rcv_wnd):
@@ -271,6 +280,9 @@ def _ack_input(conn, seg):
                 conn.snd_nxt = conn.snd_una
                 conn.t_rtt = 0
                 tcp_output.tcp_output(conn, force=True)
+                probe = conn.probe
+                if probe is not None:
+                    probe("fast_retransmit")
     else:
         # The ACK advances: retire data (and SYN/FIN octets) it covers.
         syn_octet = 1 if conn.snd_una == conn.iss else 0

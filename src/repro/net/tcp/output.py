@@ -228,6 +228,13 @@ def _start_persist(conn):
     conn.start_timer(TCPT_PERSIST, min(max(ticks, PERSIST_MIN), PERSIST_MAX))
 
 
+def _probe(conn, event):
+    """Telemetry hook: fire the connection's tcp_probe, if attached."""
+    probe = conn.probe
+    if probe is not None:
+        probe(event)
+
+
 def retransmit_timeout(conn):
     """The REXMT timer fired: back off and go back to snd_una."""
     if conn.rtt.backoff():
@@ -241,15 +248,18 @@ def retransmit_timeout(conn):
         conn.stats.retransmits += 1
         conn.start_timer(TCPT_REXMT, conn.rtt.rto_ticks())
         _send_syn(conn, ACK if conn.state == TCPState.SYN_RECEIVED else 0)
+        _probe(conn, "timeout")
         return
     conn.start_timer(TCPT_REXMT, conn.rtt.rto_ticks())
     tcp_output(conn, force=True)
+    _probe(conn, "timeout")
 
 
 def persist_timeout(conn):
     """The persist timer fired: probe the zero window with one byte."""
     conn.rtt.rxtshift = min(conn.rtt.rxtshift + 1, 12)
     tcp_output(conn, force=True)
+    _probe(conn, "persist")
     if (
         len(conn.snd_buffer) - max(0, seq_diff(conn.snd_nxt, conn.snd_una)) > 0
         and conn.snd_wnd == 0

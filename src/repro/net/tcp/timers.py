@@ -54,6 +54,7 @@ class RTTEstimator:
         self.rttvar = TCPTV_SRTTDFLT * 2  # scaled by 4
         self.rxtshift = 0
         self.samples = 0
+        self.last_rtt = 0  # most recent raw measurement, in slow ticks
 
     def update(self, rtt_ticks):
         """Fold in one RTT measurement (Karn's rule: callers must only
@@ -62,6 +63,7 @@ class RTTEstimator:
         # Clamp: a zero-tick measurement would seed srtt/rttvar at 0 on
         # the first sample, wedging the estimator at non-positive values.
         rtt = max(1, int(rtt_ticks))
+        self.last_rtt = rtt
         if self.srtt != 0:
             delta = rtt - 1 - (self.srtt >> self.SRTT_SHIFT)
             self.srtt += delta
@@ -93,3 +95,22 @@ class RTTEstimator:
         """Record a retransmission; returns True if the connection should drop."""
         self.rxtshift += 1
         return self.rxtshift > TCP_MAXRXTSHIFT
+
+    def srtt_us(self):
+        """The smoothed RTT in microseconds (descaled, tick-converted)."""
+        return (self.srtt / (1 << self.SRTT_SHIFT)) * SLOW_TICK_US
+
+    def rttvar_us(self):
+        """The RTT deviation in microseconds (descaled, tick-converted)."""
+        return (self.rttvar / (1 << self.RTTVAR_SHIFT)) * SLOW_TICK_US
+
+    def snapshot(self):
+        """Raw fixed-point state for telemetry (read-only)."""
+        return {
+            "srtt": self.srtt,
+            "rttvar": self.rttvar,
+            "rxtshift": self.rxtshift,
+            "samples": self.samples,
+            "last_rtt": self.last_rtt,
+            "rto_ticks": self.rto_ticks(),
+        }

@@ -52,6 +52,7 @@ class InKernelNetwork:
             name="%s.kstack" % host.name,
             udp_send_copies=True,
             tcp_defaults=tcp_defaults,
+            metrics=getattr(host, "metrics", None),
         )
         self._input = Channel(sim, name="%s.netisr" % host.name)
         # One filter per protocol catches all traffic for the host;

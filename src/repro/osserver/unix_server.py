@@ -86,6 +86,7 @@ class UnixServer:
             name=self.name,
             udp_send_copies=True,
             tcp_defaults=self._tcp_defaults,
+            metrics=getattr(host, "metrics", None),
         )
         self.fds = FDTable(first_fd=1000)  # server-side descriptor space
         self._input_port = MessagePort(sim, name="%s.pktin" % self.name)

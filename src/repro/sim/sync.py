@@ -100,6 +100,11 @@ class PriorityLock:
         self._seq = count()
         self.name = name
         self._waiter_name = "plock:%s" % name
+        #: Cumulative count of acquirers that had to wait.
+        self.contended = 0
+        #: Telemetry hook (bound by a MetricsRegistry while enabled;
+        #: None costs one test per contended enqueue/release).
+        self.depth_gauge = None
 
     @property
     def locked(self):
@@ -143,6 +148,10 @@ class PriorityLock:
         waiter = _Waiter(Event(self._sim, name=self._waiter_name))
         heapq.heappush(self._heap, (priority, next(self._seq), waiter))
         self._live += 1
+        self.contended += 1
+        gauge = self.depth_gauge
+        if gauge is not None:
+            gauge.record(self._live)
         return waiter
 
     def withdraw(self, waiter):
@@ -160,6 +169,9 @@ class PriorityLock:
                 waiter.alive = False
                 self._live -= 1
                 waiter.event.succeed()
+                gauge = self.depth_gauge
+                if gauge is not None:
+                    gauge.record(self._live)
                 return
         self._locked = False
 

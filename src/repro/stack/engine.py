@@ -82,6 +82,9 @@ class TCPSession:
     def __init__(self, stack, conn, owns_port=True):
         self.stack = stack
         self.conn = conn
+        m = getattr(stack, "metrics", None)
+        if m is not None and m.enabled:
+            m.attach_tcp_probe(conn, stack.name)
         self.notify = Notifier(stack.ctx.sim, "tcp.notify")
         self.accept_queue = []  # completed child sessions (listeners only)
         self.backlog = 0
@@ -126,6 +129,12 @@ class UDPSession:
         self.selected = False
         self.recv_timeout_us = None  # SO_RCVTIMEO, None = block forever
         self.error = None  # an exception instance (ICMP error delivery)
+        #: Telemetry hook (receive-queue occupancy, bytes); bound by the
+        #: metrics registry when enabled, else None.
+        self.depth_gauge = None
+        m = getattr(stack, "metrics", None)
+        if m is not None and m.enabled:
+            m.attach_udp_gauge(self, stack.name)
 
     def enqueue(self, src_addr, payload, trace=None):
         if self.queued_bytes + len(payload) > self.hiwat:
@@ -133,11 +142,17 @@ class UDPSession:
             return False
         self.queue.append((src_addr, payload, trace))
         self.queued_bytes += len(payload)
+        gauge = self.depth_gauge
+        if gauge is not None:
+            gauge.record(self.queued_bytes)
         return True
 
     def dequeue(self):
         src, payload, trace = self.queue.pop(0)
         self.queued_bytes -= len(payload)
+        gauge = self.depth_gauge
+        if gauge is not None:
+            gauge.record(self.queued_bytes)
         return src, payload, trace
 
     def __repr__(self):
@@ -149,10 +164,13 @@ class NetworkStack:
 
     def __init__(self, ctx, env, name="", udp_send_copies=True,
                  shared_buffers=False, tcp_defaults=None,
-                 port_managers=None):
+                 port_managers=None, metrics=None):
         self.ctx = ctx
         self.env = env
         self.name = name
+        #: The world's MetricsRegistry (or None).  Sessions created on
+        #: this stack attach their telemetry through it when enabled.
+        self.metrics = metrics
         #: False models the library's reference-passing UDP send path.
         self.udp_send_copies = udp_send_copies
         #: True models the NEWAPI shared application/stack buffers (§4.2).
@@ -866,6 +884,13 @@ class NetworkStack:
             slow = elapsed >= next_slow
             if slow:
                 next_slow += SLOW_TICK_US
+                # Telemetry piggybacks on the slow tick: pull gauges get
+                # sampled here without any dedicated simulation process.
+                # Every stack's timer loop ticks at the same instants, so
+                # the registry dedupes by simulated time.
+                m = self.metrics
+                if m is not None and m.enabled:
+                    m.sample()
             for session in list(self._tcp.values()):
                 conn = session.conn
                 if conn.state == TCPState.CLOSED:

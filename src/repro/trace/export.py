@@ -15,10 +15,13 @@ Two formats:
 import json
 
 
-def chrome_trace(recorder, trace_id=None):
+def chrome_trace(recorder, trace_id=None, metrics=None):
     """Render retained spans as a Chrome-trace JSON string.
 
     With ``trace_id`` given, only that packet's spans are exported.
+    With ``metrics`` (a :class:`repro.metrics.MetricsRegistry`), its
+    time series are merged in as counter tracks (``ph: "C"``) so queue
+    depths and cwnd render above the packet spans.
     Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
     """
     events = []
@@ -35,6 +38,10 @@ def chrome_trace(recorder, trace_id=None):
             "tid": span.trace_id if span.trace_id is not None else 0,
             "args": {"cost_us": span.cost},
         })
+    if metrics is not None:
+        from repro.analysis.timeseries import chrome_counter_events
+
+        events.extend(chrome_counter_events(metrics))
     return json.dumps(
         {"traceEvents": events, "displayTimeUnit": "ns"}, indent=2
     )

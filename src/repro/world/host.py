@@ -36,7 +36,7 @@ class Host:
 
     def __init__(self, sim, wire, ip_addr, platform, name="host",
                  nic_model=LANCE, integrated_filter=False, prefixlen=24,
-                 tracer=None):
+                 tracer=None, metrics=None):
         self.sim = sim
         self.name = name
         self.ip = ip_aton(ip_addr)
@@ -45,6 +45,7 @@ class Host:
         self.mac = make_mac(self.host_id)
         self.platform = platform
         self.tracer = tracer
+        self.metrics = metrics
         self.cpu = CPU(sim, platform, name="%s.cpu" % name)
         self.nic = NIC(sim, wire, self.mac, model=nic_model, name="%s.nic" % name)
         self.kernel = Kernel(
@@ -57,6 +58,8 @@ class Host:
         # Route constructor masks the prefix to its length.
         self.route_table.add(self.ip, prefixlen, iface="en0")
         self.arp = ArpService(self)
+        if metrics is not None:
+            metrics.observe_host(self)
 
     def route(self, dst_ip):
         """Next-hop IP for ``dst_ip`` (the gateway, or the address itself

@@ -2,6 +2,7 @@
 
 from repro.hw.nic import LANCE
 from repro.hw.wire import EthernetWire
+from repro.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.trace import TraceRecorder
 from repro.world.host import Host
@@ -12,7 +13,11 @@ class Network:
 
     Every network carries a :class:`~repro.trace.TraceRecorder`
     (``net.tracer``), disabled by default; ``net.tracer.enable()`` turns
-    on per-packet span recording across all hosts and placements.
+    on per-packet span recording across all hosts and placements.  It
+    likewise carries a :class:`~repro.metrics.MetricsRegistry`
+    (``net.metrics``), disabled by default; ``net.metrics.enable()``
+    turns on continuous telemetry (tcp_probe time series, queue-depth
+    gauges, resource utilization) without perturbing the simulation.
     """
 
     def __init__(self, sim=None, name="ether0", loss_rate=0.0,
@@ -20,11 +25,13 @@ class Network:
                  fault_plan=None):
         self.sim = sim if sim is not None else Simulator()
         self.tracer = TraceRecorder(self.sim)
+        self.metrics = MetricsRegistry(self.sim)
         self.wire = EthernetWire(
             self.sim, name=name, loss_rate=loss_rate,
             corrupt_rate=corrupt_rate, rng=rng,
             propagation_us=propagation_us, fault_plan=fault_plan,
         )
+        self.metrics.observe_wire(self.wire)
         self.hosts = []
 
     def add_host(self, ip_addr, platform, name=None, nic_model=LANCE,
@@ -38,6 +45,7 @@ class Network:
             nic_model=nic_model,
             integrated_filter=integrated_filter,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.hosts.append(host)
         return host
