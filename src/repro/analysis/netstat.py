@@ -122,7 +122,80 @@ def host_report(placement):
     if hasattr(backend, "migrations_out"):
         report["migrations_out"] = backend.migrations_out
         report["migrations_in"] = backend.migrations_in
+    if getattr(backend, "rpc", None) is not None:
+        report["control"] = control_report(placement)
     return report
+
+
+def control_report(placement):
+    """The control-plane block: RPC health of the placement's server and
+    per-app resilience counters (retries, breaker state, deferred work).
+
+    Returns None for in-kernel placements (no control RPCs exist).  Rows
+    are sorted by app name so the output is stable run to run.
+    """
+    backend = placement._backend
+    rpc = getattr(backend, "rpc", None)
+    if rpc is None:
+        return None
+    report = {
+        "host": placement.host.name,
+        "server": backend.health_snapshot(),
+        "broken": rpc.broken,
+        "apps": [],
+    }
+    faults = rpc.faults
+    if faults is not None:
+        report["fault_stages"] = faults.counters()
+    apps = []
+    for library in getattr(backend, "_apps", {}).values():
+        api = getattr(library, "proxy_api", None)
+        if api is not None:
+            apps.append(api.control_stats())
+    report["apps"] = sorted(apps, key=lambda row: row["app"])
+    return report
+
+
+def format_control_report(report):
+    """Render a control-plane report as text."""
+    if report is None:
+        return "Control plane: in-kernel placement (no server RPCs)"
+    srv = report["server"]
+    lines = ["Control plane on %s (%s)"
+             % (report["host"], "port DOWN" if report["broken"] else "up")]
+    lines.append(
+        "  server: gen %d, %d crashes, %d pending, %d inflight, "
+        "max_pending %s" % (srv["generation"], srv["crashes"],
+                            srv["pending"], srv["inflight"],
+                            srv["max_pending"] if srv["max_pending"]
+                            is not None else "-"))
+    lines.append(
+        "  rpc: %d retried, %d shed, %d deadline expiries, "
+        "%d replies dropped" % (srv["retried_calls"], srv["requests_shed"],
+                                srv["deadline_expiries"],
+                                srv["replies_dropped"]))
+    lines.append(
+        "  replay: %d served, %d duplicates held; serve faults: "
+        "%d stalled, %d failed" % (srv["replays_served"],
+                                   srv["duplicates_held"],
+                                   srv["ops_stalled"], srv["ops_failed"]))
+    for row in report["apps"]:
+        breaker = row.get("breaker")
+        state = breaker["state"] if breaker else "off"
+        extra = ""
+        if breaker:
+            extra = " (%d trips, %d fast-fails)" % (breaker["trips"],
+                                                    breaker["fast_fails"])
+        lines.append(
+            "  app %-20s %3d retries, %d rereg, %d deferred closes, "
+            "breaker %s%s" % (row["app"], row["retries"],
+                              row["reregistrations"], row["closes_deferred"],
+                              state, extra))
+    if "fault_stages" in report:
+        for name, counters in report["fault_stages"].items():
+            shown = ", ".join("%s=%s" % kv for kv in sorted(counters.items()))
+            lines.append("  fault %-22s %s" % (name, shown or "-"))
+    return "\n".join(lines)
 
 
 def fault_report(wire):
@@ -208,4 +281,7 @@ def format_report(report):
         lines.append("")
         lines.append("Session migrations: %d out to applications, %d back"
                      % (report["migrations_out"], report["migrations_in"]))
+    if "control" in report:
+        lines.append("")
+        lines.append(format_control_report(report["control"]))
     return "\n".join(lines)

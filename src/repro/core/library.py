@@ -88,6 +88,12 @@ class ProtocolLibrary:
         #: them back during re-registration so the rebuilt server records
         #: can keep managing them.
         self.session_filters = {}
+        #: Control-plane fault plan for per-packet IPC delivery ports
+        #: (Library-IPC only); attached by ControlFaultPlan.attach().
+        self.control_faults = None
+        #: Back-pointer to the ProxySocketAPI built over this library,
+        #: set by the proxy itself; netstat's control-plane block uses it.
+        self.proxy_api = None
 
     # ------------------------------------------------------------------
     # Output: the kernel's low-latency send trap, from user space
@@ -112,6 +118,7 @@ class ProtocolLibrary:
         sim = self.host.sim
         if self.pf_variant == PF_IPC:
             port = MessagePort(sim, name="%s.pfport" % self.name)
+            port.faults = self.control_faults
             return IPCDelivery(port), (PF_IPC, port)
         ring = SharedPacketRing(sim, name="%s.pfring" % self.name)
         return SHMDelivery(ring), (PF_SHM, ring)

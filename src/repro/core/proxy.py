@@ -26,6 +26,11 @@ import random
 from repro.hw.cpu import Priority
 from repro.stack.context import ExecutionContext
 from repro.stack.instrument import Layer
+from repro.core.resilience import (
+    ResiliencePolicy,
+    ResilientCaller,
+    ServerUnavailable,
+)
 from repro.core.sockets import (
     SOCK_DGRAM,
     SOCK_STREAM,
@@ -72,7 +77,7 @@ class ProxySocket:
 class ProxySocketAPI(SocketAPI):
     """The BSD socket interface over the decomposed protocol service."""
 
-    def __init__(self, library, server, fork_factory=None):
+    def __init__(self, library, server, fork_factory=None, policy=None):
         super().__init__()
         self.library = library
         self.server = server
@@ -104,7 +109,29 @@ class ProxySocketAPI(SocketAPI):
         #: descriptor is already freed, but the server must still learn
         #: about them if it restarts before the close lands.
         self._closing = {}
+        #: sid -> snapshot for sessions whose migrate-to-server RPC is in
+        #: flight: the TCP state has been exported out of the local stack,
+        #: so a crash in this window must rebuild the server record before
+        #: the retried ``proxy_return`` replays the state.
+        self._migrating = {}
+        #: Resilience policy (None: legacy behavior — patient retries, no
+        #: deadlines, breaker off).  All proxy RPCs go through one
+        #: :class:`ResilientCaller`; request ids are (app_id, sid, seq).
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.resilient = ResilientCaller(
+            self.rpc, self.ctx, rng=self._retry_rng, gate=self._gate,
+            policy=self.policy, name="%s.proxy" % library.name,
+        )
+        #: Patient fallback caller for background drains (deferred closes):
+        #: default policy, so it waits out an outage the breaker gave up on.
+        self._patient = ResilientCaller(
+            self.rpc, self.ctx, rng=self._retry_rng, gate=self._gate,
+            name="%s.drain" % library.name,
+        )
+        self._req_seq = 0
+        self.closes_deferred = 0
         library.metastate.gate = self._gate
+        library.proxy_api = self
         self._reregister_watcher = host.sim.spawn(
             self._server_watcher(), name="%s.rereg" % library.name
         )
@@ -117,10 +144,14 @@ class ProxySocketAPI(SocketAPI):
         """Entering the proxy is a procedure call, not a trap."""
         yield self.ctx.charge(layer, self.ctx.params.proc_call)
 
-    def _rpc(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
-        result = yield from self.rpc.call_retrying(
-            self.ctx, op, args=args, data=data, layer=layer,
-            rng=self._retry_rng, gate=self._gate,
+    def _rpc(self, op, *args, sid=0, data=b"", layer=Layer.ENTRY_COPYIN):
+        """One logical proxy op: stamped with a fresh (app, sid, seq)
+        request id so retries and fault-duplicates replay server-side
+        instead of re-running side effects."""
+        self._req_seq += 1
+        req_id = (self.app_id, sid, self._req_seq)
+        result = yield from self.resilient.call(
+            op, args=args, data=data, layer=layer, req_id=req_id,
         )
         return result
 
@@ -141,6 +172,10 @@ class ProxySocketAPI(SocketAPI):
             yield from self._reregister()
             gate, self._rereg_ready = self._rereg_ready, None
             gate.succeed()
+            # Re-registration doubles as the breaker's recovery probe:
+            # the server answered a real RPC, so fast-failing is over.
+            if self.resilient.breaker is not None:
+                self.resilient.breaker.reset()
 
     def _reregister(self):
         """Report this app and its live sessions to a freshly restarted
@@ -153,15 +188,30 @@ class ProxySocketAPI(SocketAPI):
         """
         sessions = []
         seen = set()
-        for snap in self._closing.values():
-            seen.add(snap["sid"])
-            sessions.append(dict(snap))
+        for snaps in (self._closing, self._migrating):
+            for snap in snaps.values():
+                if snap["sid"] in seen:
+                    continue
+                seen.add(snap["sid"])
+                sessions.append(dict(snap))
         for desc in self.fds.descriptors():
             psock = desc.payload
             if psock is None or psock.sid in seen:
                 continue
             seen.add(psock.sid)
-            if psock.mode == "app" and psock.session is not None:
+            if psock.mode == "embryonic":
+                # A crash while proxy_socket/bind/connect is in flight:
+                # the retried RPC needs the bare record to exist in the
+                # restarted server or it dies on "unknown session id".
+                sessions.append({
+                    "sid": psock.sid,
+                    "kind": psock.kind,
+                    "lport": psock.lport,
+                    "remote": None,
+                    "embryonic": True,
+                    "opts": dict(psock.opts),
+                })
+            elif psock.mode == "app" and psock.session is not None:
                 snap = {
                     "sid": psock.sid,
                     "kind": psock.kind,
@@ -175,7 +225,7 @@ class ProxySocketAPI(SocketAPI):
                     )
                 sessions.append(snap)
             elif (psock.mode == "server" and psock.kind == SOCK_STREAM
-                    and psock.server_handle is None):
+                    and psock.backlog is not None):
                 sessions.append({
                     "sid": psock.sid,
                     "kind": psock.kind,
@@ -186,10 +236,20 @@ class ProxySocketAPI(SocketAPI):
                     "opts": dict(psock.opts),
                 })
         # Deliberately ungated (this RPC is what opens the gate).
-        yield from self.rpc.call_retrying(
+        _restored, handles = yield from self.rpc.call_retrying(
             self.ctx, "proxy_reregister", args=(self.library, sessions),
             layer=Layer.ENTRY_COPYIN, rng=self._retry_rng,
         )
+        # Server-side descriptors from the dead incarnation are gone.
+        # Rebuilt listeners get their fresh handle from the reply; other
+        # server-managed sessions (post-fork data sessions) died with the
+        # crash, and a None handle makes select report them ready so the
+        # caller's next operation surfaces a clean error instead of
+        # touching a recycled descriptor in the new incarnation.
+        for desc in self.fds.descriptors():
+            psock = desc.payload
+            if psock is not None and psock.mode == "server":
+                psock.server_handle = handles.get(psock.sid)
         self.reregistrations += 1
 
     def _adopt_tcp(self, psock, state, receiver):
@@ -231,7 +291,8 @@ class ProxySocketAPI(SocketAPI):
     def bind(self, fd, port):
         psock = self.fds.get(fd).payload
         yield from self._proxy_entry()
-        lport, receiver = yield from self._rpc("proxy_bind", psock.sid, port)
+        lport, receiver = yield from self._rpc("proxy_bind", psock.sid, port,
+                                               sid=psock.sid)
         psock.lport = lport
         if psock.kind == SOCK_DGRAM:
             # A bound UDP session migrates to the application immediately.
@@ -250,7 +311,7 @@ class ProxySocketAPI(SocketAPI):
             self.library.detach_input(psock.input_key)
             self.stack.udp_close(psock.session)
         result = yield from self._rpc("proxy_connect", psock.sid, addr,
-                                      psock.opts)
+                                      psock.opts, sid=psock.sid)
         if psock.kind == SOCK_DGRAM:
             psock.lport, receiver = result
             psock.remote = tuple(addr)
@@ -264,8 +325,8 @@ class ProxySocketAPI(SocketAPI):
     def listen(self, fd, backlog=5):
         psock = self.fds.get(fd).payload
         yield from self._proxy_entry()
-        psock.lport = yield from self._rpc(
-            "proxy_listen", psock.sid, backlog, psock.opts
+        psock.lport, psock.server_handle = yield from self._rpc(
+            "proxy_listen", psock.sid, backlog, psock.opts, sid=psock.sid
         )
         psock.mode = "server"  # listeners stay with the OS server
         psock.backlog = backlog
@@ -274,7 +335,7 @@ class ProxySocketAPI(SocketAPI):
         listener = self.fds.get(fd).payload
         yield from self._proxy_entry()
         child_sid, remote, state, receiver = yield from self._rpc(
-            "proxy_accept", listener.sid, self.app_id
+            "proxy_accept", listener.sid, self.app_id, sid=listener.sid
         )
         psock = ProxySocket(child_sid, SOCK_STREAM)
         psock.lport = listener.lport
@@ -302,7 +363,7 @@ class ProxySocketAPI(SocketAPI):
             return n
         if psock.mode == "server":
             n = yield from self._rpc("send", psock.server_handle,
-                                     data=bytes(data))
+                                     data=bytes(data), sid=psock.sid)
             return n
         raise SocketError("send on unconnected socket")
 
@@ -322,7 +383,8 @@ class ProxySocketAPI(SocketAPI):
             return data
         if psock.mode == "server":
             data = yield from self._rpc(
-                "recv", psock.server_handle, max_bytes, layer=Layer.COPYOUT_EXIT
+                "recv", psock.server_handle, max_bytes, sid=psock.sid,
+                layer=Layer.COPYOUT_EXIT,
             )
             return data
         raise SocketError("recv on unconnected socket")
@@ -341,14 +403,15 @@ class ProxySocketAPI(SocketAPI):
         if psock.mode == "embryonic":
             # BSD auto-binds: the session gets an ephemeral port and
             # migrates into the application on first use.
-            lport, receiver = yield from self._rpc("proxy_bind", psock.sid, 0)
+            lport, receiver = yield from self._rpc("proxy_bind", psock.sid, 0,
+                                                   sid=psock.sid)
             psock.lport = lport
             self._adopt_udp(psock, receiver)
         if psock.mode == "app":
             yield from self._udp_send_app(psock, data, tuple(addr))
             return len(data)
         n = yield from self._rpc("sendto", psock.server_handle, tuple(addr),
-                                 data=bytes(data))
+                                 data=bytes(data), sid=psock.sid)
         return n
 
     def recvfrom(self, fd):
@@ -361,7 +424,8 @@ class ProxySocketAPI(SocketAPI):
             return data, src
         if psock.mode == "server":
             src, data = yield from self._rpc(
-                "recvfrom", psock.server_handle, layer=Layer.COPYOUT_EXIT
+                "recvfrom", psock.server_handle, sid=psock.sid,
+                layer=Layer.COPYOUT_EXIT,
             )
             return data, src
         raise SocketError("recvfrom on unbound socket")
@@ -378,7 +442,8 @@ class ProxySocketAPI(SocketAPI):
         if psock.mode == "app" and psock.kind == SOCK_STREAM:
             yield from self.stack.tcp_shutdown(psock.session)
         elif psock.mode == "server":
-            yield from self._rpc("shutdown", psock.server_handle)
+            yield from self._rpc("shutdown", psock.server_handle,
+                                 sid=psock.sid)
         else:
             raise SocketError("shutdown on a non-stream or unconnected fd")
 
@@ -403,16 +468,60 @@ class ProxySocketAPI(SocketAPI):
                 "app_filter": self.library.session_filters.get(psock.sid),
             }
             try:
-                yield from self._rpc("proxy_close", psock.sid, state)
-            finally:
+                yield from self._rpc("proxy_close", psock.sid, state,
+                                     sid=psock.sid)
+            except ServerUnavailable:
+                # Graceful degradation: the local teardown (drain, export,
+                # filter detach) is already done; the server-side half
+                # replays in the background once the server is reachable.
+                # The _closing snapshot stays until the drain lands so a
+                # restarted server learns about the session first.
+                self._defer_close(psock.sid, state)
+            else:
                 self._closing.pop(psock.sid, None)
             self.library.detach_input(psock.input_key)
         elif psock.mode in ("server", "embryonic"):
-            yield from self._rpc("proxy_close", psock.sid, None)
+            try:
+                yield from self._rpc("proxy_close", psock.sid, None,
+                                     sid=psock.sid)
+            except ServerUnavailable:
+                # Server-managed state either survives in the live server
+                # (slow, breaker open) or died with it (crash) — in both
+                # cases the deferred close is sufficient: proxy_close of
+                # an unknown sid is a clean no-op after a restart.
+                self._defer_close(psock.sid, None)
         psock.mode = "closed"
 
+    def _defer_close(self, sid, state):
+        """Finish a shed close in the background with the patient caller
+        (no breaker, no budget): it parks politely through the outage and
+        lands the server-side teardown on recovery."""
+        self.closes_deferred += 1
+
+        def drain():
+            self._req_seq += 1
+            req_id = (self.app_id, sid, self._req_seq)
+            try:
+                yield from self._patient.call(
+                    "proxy_close", args=(sid, state),
+                    layer=Layer.ENTRY_COPYIN, req_id=req_id,
+                )
+            finally:
+                self._closing.pop(sid, None)
+
+        self.ctx.sim.spawn(
+            drain(), name="%s.close-drain.%d" % (self.library.name, sid)
+        )
+
     def migrate_to_server(self, fd):
-        """Return one session to the server (the fork preparation step)."""
+        """Return one session to the server (the fork preparation step).
+
+        Crash-hardened: once the TCP state is exported it exists only in
+        this call's frame, so the sid is snapshotted into ``_migrating``
+        before the RPC — a server crash mid-``proxy_return`` then rebuilds
+        the record during re-registration and the retried RPC (same
+        request id) replays the state instead of stranding the psock on
+        "unknown session id"."""
         psock = self.fds.get(fd).payload
         if psock.mode != "app":
             return
@@ -422,7 +531,18 @@ class ProxySocketAPI(SocketAPI):
         else:
             self.stack.udp_close(psock.session)
             state = None
-        handle = yield from self._rpc("proxy_return", psock.sid, state)
+        self._migrating[psock.sid] = {
+            "sid": psock.sid,
+            "kind": psock.kind,
+            "lport": psock.lport,
+            "remote": psock.remote,
+            "app_filter": self.library.session_filters.get(psock.sid),
+        }
+        try:
+            handle = yield from self._rpc("proxy_return", psock.sid, state,
+                                          sid=psock.sid)
+        finally:
+            self._migrating.pop(psock.sid, None)
         self.library.detach_input(psock.input_key)
         psock.session = None
         psock.server_handle = handle
@@ -471,7 +591,8 @@ class ProxySocketAPI(SocketAPI):
 
             _apply_sockopt(_D, option, value)
         elif psock.mode == "server":
-            yield from self._rpc("setsockopt", psock.server_handle, option, value)
+            yield from self._rpc("setsockopt", psock.server_handle, option,
+                                 value, sid=psock.sid)
 
     def select(self, read_fds, write_fds=(), timeout=None):
         yield from self._proxy_entry()
@@ -502,6 +623,13 @@ class ProxySocketAPI(SocketAPI):
                         [h for _fd, h in srv_r], [h for _fd, h in srv_w],
                         remaining,
                     )
+                except ServerUnavailable:
+                    # Graceful degradation: instead of wedging in a select
+                    # on an unreachable server, report its fds as ready —
+                    # the caller's next operation on them surfaces the
+                    # real error.
+                    return ([fd for fd, _h in srv_r],
+                            [fd for fd, _h in srv_w])
                 finally:
                     self._select_outstanding = False
                 handle_map = {h: fd for fd, h in srv_r + srv_w}
@@ -525,13 +653,22 @@ class ProxySocketAPI(SocketAPI):
         for fd in read_fds:
             psock = self.fds.get(fd).payload
             if psock.mode == "server":
-                srv_r.append((fd, psock.server_handle))
+                if psock.server_handle is None:
+                    # The session died with a crashed server incarnation:
+                    # report it ready so the caller's next operation on it
+                    # fails cleanly rather than wedging this select.
+                    local_r.append((fd, True))
+                else:
+                    srv_r.append((fd, psock.server_handle))
             else:
                 local_r.append((fd, self._local_ready(psock, "readable")))
         for fd in write_fds:
             psock = self.fds.get(fd).payload
             if psock.mode == "server":
-                srv_w.append((fd, psock.server_handle))
+                if psock.server_handle is None:
+                    local_w.append((fd, True))
+                else:
+                    srv_w.append((fd, psock.server_handle))
             else:
                 local_w.append((fd, self._local_ready(psock, "writable")))
         return local_r, local_w, srv_r, srv_w
@@ -560,3 +697,27 @@ class ProxySocketAPI(SocketAPI):
             yield self.stack.select_notify.wait()
             if self._select_outstanding:
                 yield from self._rpc("proxy_status", self.app_id)
+
+    # ------------------------------------------------------------------
+    # Control-plane health and stats
+    # ------------------------------------------------------------------
+
+    def server_health(self):
+        """Query the server's admission/health snapshot (``proxy_health``)."""
+        yield from self._proxy_entry()
+        report = yield from self._rpc("proxy_health")
+        return report
+
+    def control_stats(self):
+        """Client-side control-plane counters for netstat/chaos reports."""
+        stats = {
+            "app": self.library.name,
+            "retries": self.resilient.retries,
+            "reregistrations": self.reregistrations,
+            "closes_deferred": self.closes_deferred,
+            "budget_exhaustions": (self.resilient.budget_exhaustions
+                                   + self._patient.budget_exhaustions),
+        }
+        if self.resilient.breaker is not None:
+            stats["breaker"] = self.resilient.breaker.snapshot()
+        return stats

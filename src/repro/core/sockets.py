@@ -61,8 +61,11 @@ class FDTable:
     def get(self, fd):
         try:
             return self._table[fd]
-        except KeyError:
-            raise BadFileDescriptor("fd %d is not open" % fd) from None
+        except (KeyError, TypeError):
+            # TypeError covers unhashable fds; %r covers None and other
+            # non-ints, so a bogus handle always surfaces as a clean
+            # BadFileDescriptor rather than a formatting crash.
+            raise BadFileDescriptor("fd %r is not open" % (fd,)) from None
 
     def free(self, fd):
         """Drop the fd; returns the descriptor if this was the last ref."""

@@ -14,8 +14,29 @@ single seeded RNG, so a whole chaotic run is reproducible from one seed.
 The server-crash half lives in :mod:`repro.osserver.netserver`
 (``crash()``/``restart()``) and :mod:`repro.kernel.ipc`
 (:class:`~repro.kernel.ipc.ServerCrashed`, RPC retry with backoff).
+
+The *control-plane* half lives in :mod:`repro.faults.control`: a
+:class:`ControlFaultPlan` aims the same seeded-stage machinery at proxy
+RPCs, IPC delivery ports, and the server's own request handling (drops,
+duplicates, delays, stalls, transient failures, crash-during-op), all
+composable with a wire plan in the same run.
 """
 
+from repro.faults.control import (
+    ControlFaultPlan,
+    ControlFaultStage,
+    IpcDelay,
+    IpcDuplicate,
+    IpcLoss,
+    RpcDelay,
+    RpcDrop,
+    RpcDuplicate,
+    RpcReplyDelay,
+    RpcStall,
+    ServerCrashOnOp,
+    ServerFlakyOp,
+    ServerSlowOp,
+)
 from repro.faults.plan import FaultPlan, FaultStage, Transit
 from repro.faults.stages import (
     BernoulliLoss,
@@ -40,4 +61,17 @@ __all__ = [
     "Reorder",
     "Blackhole",
     "RxOverflow",
+    "ControlFaultPlan",
+    "ControlFaultStage",
+    "RpcDrop",
+    "RpcDelay",
+    "RpcStall",
+    "RpcDuplicate",
+    "RpcReplyDelay",
+    "IpcLoss",
+    "IpcDuplicate",
+    "IpcDelay",
+    "ServerSlowOp",
+    "ServerFlakyOp",
+    "ServerCrashOnOp",
 ]

@@ -156,7 +156,18 @@ class Kernel:
         return handle
 
     def remove_filter(self, handle):
-        self._filters.remove(handle)
+        """Uninstall a filter; idempotent.
+
+        Filter ownership crosses crash boundaries: a replayed RPC may
+        legitimately remove a filter the dead server incarnation already
+        removed, so a second removal is a no-op, not an error.  Returns
+        whether the handle was still installed.
+        """
+        try:
+            self._filters.remove(handle)
+            return True
+        except ValueError:
+            return False
 
     def filter_count(self):
         return len(self._filters)

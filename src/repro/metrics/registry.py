@@ -332,6 +332,33 @@ class MetricsRegistry:
 
         self.add_pull(fault_counters)
 
+    def observe_server(self, server):
+        """Register an OS server's control-plane counters: RPC queue
+        depth, admission sheds, deadline expiries, replay activity, and
+        crash generation.  Pure pull gauges — free while disabled, and
+        sampled only on the existing tick while enabled."""
+        name = server.name
+
+        def control_counters():
+            rpc = server.rpc
+            return {
+                "%s.rpc.pending" % name: rpc.pending(),
+                "%s.rpc.inflight" % name: len(server._inflight),
+                "%s.rpc.calls" % name: rpc.calls,
+                "%s.rpc.retried_calls" % name: rpc.retried_calls,
+                "%s.rpc.requests_shed" % name: rpc.requests_shed,
+                "%s.rpc.deadline_expiries" % name: rpc.deadline_expiries,
+                "%s.rpc.replies_dropped" % name: rpc.replies_dropped,
+                "%s.replays_served" % name: server.replays_served,
+                "%s.duplicates_held" % name: server.duplicates_held,
+                "%s.ops_stalled" % name: server.ops_stalled,
+                "%s.ops_failed" % name: server.ops_failed,
+                "%s.generation" % name: getattr(server, "generation", 0),
+                "%s.crashes" % name: getattr(server, "crashes", 0),
+            }
+
+        self.add_pull(control_counters)
+
     def attach_tcp_probe(self, conn, owner=""):
         """Attach a tcp_probe series to one connection (see
         :mod:`repro.metrics.tcp_probe`); returns the probe."""

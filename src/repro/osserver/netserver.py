@@ -194,22 +194,35 @@ class NetServer(UnixServer):
         library, sessions = message.args
         self.register_app(library)
         restored = 0
+        handles = {}  # sid -> fresh server handle, for rebuilt listeners
         # Listeners first, so an accepted child's shared port resolves to
         # owns_port=False via the bind conflict below.
         for snap in sorted(sessions, key=lambda s: not s.get("listener")):
             sid = snap["sid"]
             if sid in self._records:
-                continue  # a retry already rebuilt this one
+                # A retry already rebuilt this one; still report its
+                # handle so the replayed reply carries the full map.
+                existing = self._records[sid].server_handle
+                if existing is not None:
+                    handles[sid] = existing
+                continue
             self._next_sid = max(self._next_sid, sid + 1)
             record = SessionRecord(sid, snap["kind"], library.app_id)
             record.lport = snap["lport"]
             record.remote = tuple(snap["remote"]) if snap.get("remote") else None
-            proto = "tcp" if snap["kind"] == SOCK_STREAM else "udp"
-            try:
-                self.stack.ports[proto].bind(self.host.ip, record.lport)
-            except PortInUse:
-                record.owns_port = False
+            if record.lport is not None:
+                proto = "tcp" if snap["kind"] == SOCK_STREAM else "udp"
+                try:
+                    self.stack.ports[proto].bind(self.host.ip, record.lport)
+                except PortInUse:
+                    record.owns_port = False
             self._records[sid] = record
+            if snap.get("embryonic"):
+                # A crash caught this session between proxy_socket and its
+                # bind/connect: the bare record (sid, kind, maybe a
+                # reserved port) is all the retried RPC needs to proceed.
+                restored += 1
+                continue
             if snap.get("listener"):
                 listener = self.stack.tcp_create(
                     local_port=None,
@@ -232,6 +245,10 @@ class NetServer(UnixServer):
                 record.server_filter = self._install_server_filter(
                     ip.PROTO_TCP, record.lport, None, front=False
                 )
+                record.server_handle = self.fds.alloc(
+                    SOCK_STREAM, listener
+                ).fd
+                handles[sid] = record.server_handle
             else:
                 record.mode = "app"
                 record.last_snd_nxt = snap.get("snd_nxt", 0)
@@ -242,7 +259,7 @@ class NetServer(UnixServer):
         yield self.ctx.charge(
             Layer.ENTRY_COPYIN, self.ctx.params.socket_layer
         )
-        return restored, 0
+        return (restored, handles), 0
 
     # ------------------------------------------------------------------
     # Application registration
@@ -438,8 +455,11 @@ class NetServer(UnixServer):
         record.server_filter = self._install_server_filter(
             ip.PROTO_TCP, record.lport, None
         )
+        # The listener gets a server-side descriptor so the app can put
+        # it in a select set alongside migrated data sessions.
+        record.server_handle = self.fds.alloc(SOCK_STREAM, listener).fd
         yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.socket_layer)
-        return record.lport, 0
+        return (record.lport, record.server_handle), 0
 
     def op_proxy_accept(self, message):
         """Migrate a passively-opened, established session to the app."""
@@ -529,6 +549,9 @@ class NetServer(UnixServer):
             else:
                 self._release_record_port(record, "tcp")
         elif record.mode == "server":
+            if record.server_handle is not None:
+                self.fds.free(record.server_handle)
+                record.server_handle = None
             if record.server_session is not None:
                 if record.server_session.conn.state == TCPState.LISTEN:
                     record.server_session.conn.close()
@@ -541,6 +564,10 @@ class NetServer(UnixServer):
                         record.server_filter, None
                     )
                     self._spawn_close(record, session, server_filter)
+        elif record.mode == "embryonic":
+            # Closing a bound-but-never-connected stream session must
+            # still give its reserved port back.
+            self._release_record_port(record, "tcp")
         record.mode = "closed"
         return None, 0
 
@@ -615,6 +642,15 @@ class NetServer(UnixServer):
             if winner is waits[0]:
                 # The app saw local status change: return so it rechecks.
                 return ([], [], True), 0
+
+    def health_snapshot(self):
+        report = super().health_snapshot()
+        report["records"] = sum(
+            1 for r in self._records.values() if r.mode != "closed"
+        )
+        report["apps"] = len(self._apps)
+        report["quarantined_ports"] = len(self.quarantined_ports)
+        return report
 
     def _poll_handles(self, read_handles, write_handles):
         from repro.osserver.inkernel import _poll_desc

@@ -8,6 +8,7 @@ server's internal synchronization is the heavyweight simulated-spl
 package — the two effects Table 4 charges the server placement for.
 """
 
+import random
 from itertools import count
 
 from repro.filter.compile import compile_ip_protocol_filter
@@ -34,6 +35,12 @@ from repro.osserver.inkernel import _apply_sockopt, _poll_desc
 #: per byte (Table 4's kernel copyout row for the server barely grows
 #: with message size).
 REMAP_PER_BYTE = 0.024
+
+#: Completed request-id results remembered per incarnation, so retried or
+#: fault-duplicated RPCs replay their reply instead of re-running side
+#: effects.  FIFO-evicted; a crash wipes it (retries then re-execute
+#: against re-registered state, which is the documented semantics).
+REPLAY_CACHE_LIMIT = 512
 
 
 class UnixServer:
@@ -65,7 +72,16 @@ class UnixServer:
         #: message -> handler Process, for crash() to interrupt cleanly.
         self._inflight = {}
         self._catch_all_handles = []
+        # Cumulative control-plane counters (survive restarts; the replay
+        # caches themselves are per-incarnation and reset in _boot).
+        self.replays_served = 0
+        self.duplicates_held = 0
+        self.ops_stalled = 0
+        self.ops_failed = 0
         self._boot()
+        metrics = getattr(host, "metrics", None)
+        if metrics is not None:
+            metrics.observe_server(self)
 
     def _boot(self):
         """Build one server incarnation: stack, descriptor space, packet
@@ -89,7 +105,18 @@ class UnixServer:
             metrics=getattr(host, "metrics", None),
         )
         self.fds = FDTable(first_fd=1000)  # server-side descriptor space
+        old_port = getattr(self, "_input_port", None)
         self._input_port = MessagePort(sim, name="%s.pktin" % self.name)
+        if old_port is not None:
+            # An attached control-fault plan survives the incarnation.
+            self._input_port.faults = old_port.faults
+        #: req_id -> (result, reply_len) for completed requests, plus the
+        #: FIFO eviction order; see REPLAY_CACHE_LIMIT.
+        self._replay_cache = {}
+        self._replay_order = []
+        #: req_id -> [held duplicate Messages] while the original handler
+        #: is still running; they are answered when it completes.
+        self._replay_inflight = {}
         self._catch_all_handles = []
         if self._catch_all_filter:
             for proto in (ip.PROTO_TCP, ip.PROTO_UDP, ip.PROTO_ICMP):
@@ -141,8 +168,55 @@ class UnixServer:
         # The handler runs in its own process; pick up the request's
         # packet trace so server-side charges join the right timeline.
         adopt_trace(self.host.sim, message.trace)
+        rid = message.req_id
         try:
+            if rid is not None:
+                cached = self._replay_cache.get(rid)
+                if cached is not None:
+                    # Duplicate of a completed request: replay the reply,
+                    # never the side effects (at-most-once execution per
+                    # id per incarnation).
+                    result, reply_len = cached
+                    self.replays_served += 1
+                    try:
+                        yield self.ctx.charge(
+                            Layer.ENTRY_COPYIN, self.ctx.params.proc_call
+                        )
+                        yield from self.rpc.reply(
+                            self.ctx, message, result, reply_len=reply_len,
+                            layer=Layer.COPYOUT_EXIT,
+                        )
+                    except Interrupt:
+                        pass
+                    return
+                waiters = self._replay_inflight.get(rid)
+                if waiters is not None:
+                    # Duplicate while the original is still executing:
+                    # park it; the original's completion answers it.
+                    self.duplicates_held += 1
+                    waiters.append(message)
+                    return
+                self._replay_inflight[rid] = []
+            crash_after = None
             try:
+                faults = self.rpc.faults
+                if faults is not None:
+                    stall_us, fail, crash = faults.on_serve(message.op)
+                    if stall_us:
+                        # A blocking stall (paging, lock wait), not a CPU
+                        # burn: the handler sleeps so concurrent requests
+                        # still reach the admission check and get shed.
+                        self.ops_stalled += 1
+                        yield self.host.sim.timeout(stall_us)
+                    if crash == "before":
+                        # Request consumed, no side effects yet: the
+                        # cleanest crash a client can hope for.
+                        self._crash_now()
+                        return
+                    crash_after = crash
+                    if fail is not None:
+                        self.ops_failed += 1
+                        raise fail
                 handler = getattr(self, "op_" + message.op, None)
                 if handler is None:
                     raise SocketError("unknown server op %r" % message.op)
@@ -151,15 +225,43 @@ class UnixServer:
                 return  # server crashed mid-op; the client's wait already failed
             except Exception as exc:  # noqa: BLE001 - errno travels back by RPC
                 result, reply_len = exc, 0
+            if crash_after == "after":
+                # Side effects done, reply lost: the at-least-once window
+                # that the replay/re-registration machinery must cover.
+                self._crash_now()
+                return
+            if rid is not None and not isinstance(result, BaseException):
+                self._remember_reply(rid, result, reply_len)
+            replies = [message]
+            if rid is not None:
+                replies.extend(self._replay_inflight.pop(rid, ()))
             try:
-                yield from self.rpc.reply(
-                    self.ctx, message, result, reply_len=reply_len,
-                    layer=Layer.COPYOUT_EXIT,
-                )
+                for msg in replies:
+                    yield from self.rpc.reply(
+                        self.ctx, msg, result, reply_len=reply_len,
+                        layer=Layer.COPYOUT_EXIT,
+                    )
             except Interrupt:
                 return
         finally:
             self._inflight.pop(message, None)
+
+    def _remember_reply(self, rid, result, reply_len):
+        if rid in self._replay_cache:
+            return
+        if len(self._replay_order) >= REPLAY_CACHE_LIMIT:
+            self._replay_cache.pop(self._replay_order.pop(0), None)
+        self._replay_cache[rid] = (result, reply_len)
+        self._replay_order.append(rid)
+
+    def _crash_now(self):
+        """Serve-fault crash hook: only the restartable NetServer knows
+        how to crash; on a plain UnixServer the stage is inert.  The
+        crash interrupts this very handler — a stale-token no-op as long
+        as the caller returns immediately afterwards."""
+        crash = getattr(self, "crash", None)
+        if crash is not None and getattr(self, "alive", False):
+            crash()
 
     # ------------------------------------------------------------------
     # Socket operations (server side)
@@ -328,11 +430,34 @@ class UnixServer:
                 waits.append(self.ctx.sim.timeout(deadline - self.ctx.sim.now))
             yield any_of(self.ctx.sim, waits)
 
+    def op_proxy_health(self, message):
+        """Admission/health snapshot for clients and the chaos harness."""
+        yield self.ctx.charge(Layer.ENTRY_COPYIN, self.ctx.params.proc_call)
+        return self.health_snapshot(), 0
+
+    def health_snapshot(self):
+        rpc = self.rpc
+        return {
+            "pending": rpc.pending(),
+            "inflight": len(self._inflight),
+            "max_pending": rpc.max_pending,
+            "requests_shed": rpc.requests_shed,
+            "deadline_expiries": rpc.deadline_expiries,
+            "replies_dropped": rpc.replies_dropped,
+            "retried_calls": rpc.retried_calls,
+            "replays_served": self.replays_served,
+            "duplicates_held": self.duplicates_held,
+            "ops_stalled": self.ops_stalled,
+            "ops_failed": self.ops_failed,
+            "generation": getattr(self, "generation", 0),
+            "crashes": getattr(self, "crashes", 0),
+        }
+
     # ------------------------------------------------------------------
 
-    def sockets(self):
+    def sockets(self, policy=None):
         """A socket API instance for one application process."""
-        return ServerSocketAPI(self)
+        return ServerSocketAPI(self, policy=policy)
 
 
 def _ready(state, field):
@@ -340,10 +465,21 @@ def _ready(state, field):
 
 
 class ServerSocketAPI(SocketAPI):
-    """BSD sockets where every call is an RPC to the UNIX server."""
+    """BSD sockets where every call is an RPC to the UNIX server.
 
-    def __init__(self, server):
+    Calls now go through a :class:`ResilientCaller` with sequence-stamped
+    request ids.  On the default policy the happy path is charge-for-
+    charge identical to the historical raw ``rpc.call`` (no retry loop
+    overhead in simulated time), but deadlines/breaker/budget knobs can
+    be enabled per client via ``policy``.
+    """
+
+    _next_client_id = count(1)
+
+    def __init__(self, server, policy=None):
         super().__init__()
+        from repro.core.resilience import ResilientCaller
+
         self.server = server
         host = server.host
         self.ctx = ExecutionContext(
@@ -354,10 +490,19 @@ class ServerSocketAPI(SocketAPI):
             crossings=server.ctx.crossings,
             name="%s.app" % host.name,
         )
+        self.client_id = next(ServerSocketAPI._next_client_id)
+        self.resilient = ResilientCaller(
+            server.rpc, self.ctx,
+            rng=random.Random(3000 + self.client_id),
+            policy=policy, name="%s.app%d" % (host.name, self.client_id),
+        )
+        self._req_seq = 0
 
     def _call(self, op, *args, data=b"", layer=Layer.ENTRY_COPYIN):
-        result = yield from self.server.rpc.call(
-            self.ctx, op, args=args, data=data, layer=layer
+        self._req_seq += 1
+        req_id = ("ux", self.client_id, self._req_seq)
+        result = yield from self.resilient.call(
+            op, args=args, data=data, layer=layer, req_id=req_id
         )
         return result
 
