@@ -522,6 +522,12 @@ def main(argv=None):
         return 0
 
     if args.scenario:
+        known = set(all_scenarios())
+        for scenario_id in args.scenario:
+            if scenario_id not in known:
+                print("chaos: unknown scenario %r (use --list to see the "
+                      "matrix)" % scenario_id, file=sys.stderr)
+                return 2
         scenario_ids = args.scenario
     elif args.full:
         scenario_ids = all_scenarios()

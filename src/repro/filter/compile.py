@@ -12,7 +12,7 @@ demultiplex correctly.
 """
 
 from repro.filter.insn import Insn, Op
-from repro.filter.vm import validate
+from repro.filter.vm import FilterProgram, validate
 from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IP
 
 #: Accept "the whole packet" sentinel (BPF convention: a huge snap length).
@@ -73,7 +73,10 @@ def compile_session_filter(proto, local_ip, local_port,
     for i, insn in enumerate(program):
         if insn.jf is None:
             insn.jf = reject_distance(last - (i + 1))
-    return validate(program)
+    compiled = FilterProgram(program)
+    compiled.demux_key = (
+        "sess", proto, local_ip, local_port, remote_ip, remote_port)
+    return validate(compiled)
 
 
 def compile_ip_protocol_filter(proto):
@@ -86,7 +89,9 @@ def compile_ip_protocol_filter(proto):
         Insn(Op.RET, k=ACCEPT_ALL),
         Insn(Op.RET, k=0),
     ]
-    return validate(program)
+    compiled = FilterProgram(program)
+    compiled.demux_key = ("ipproto", proto)
+    return validate(compiled)
 
 
 def compile_arp_filter():
@@ -97,4 +102,6 @@ def compile_arp_filter():
         Insn(Op.RET, k=ACCEPT_ALL),
         Insn(Op.RET, k=0),
     ]
-    return validate(program)
+    compiled = FilterProgram(program)
+    compiled.demux_key = ("arp",)
+    return validate(compiled)

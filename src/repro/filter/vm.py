@@ -9,6 +9,23 @@ class FilterError(Exception):
 
 MAX_PROGRAM_LEN = 512
 
+
+class FilterProgram(list):
+    """A filter program that knows what it matches.
+
+    Compiled programs carry a ``demux_key`` describing the exact class
+    of frames they accept — ``("sess", proto, lip, lport, rip, rport)``
+    with None wildcards, ``("ipproto", proto)``, or ``("arp",)`` — so a
+    kernel running a scale-out world can demultiplex by hash lookup
+    instead of running every installed program (see
+    :meth:`repro.kernel.kernel.Kernel._demux_candidates`).  The program
+    is still a plain instruction list and still *runs* to confirm every
+    match; the key only prunes which programs are worth running.  Hand
+    -built programs without a key always fall back to the linear scan.
+    """
+
+    demux_key = None
+
 #: The dispatch order of :meth:`FilterMachine.run`'s if/elif chain.
 #: Unpacked into locals at the top of ``run`` — inside the interpreter
 #: loop a local load is much cheaper than ``Op.X`` (a global load plus

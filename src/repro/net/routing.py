@@ -50,6 +50,14 @@ class RouteTable:
     def __init__(self):
         self._routes = []
         self.generation = 0
+        # Fast path for the overwhelmingly common shape (one /24 per
+        # attached or reachable segment plus maybe a default route): a
+        # dict keyed on the masked /24 prefix.  Valid as a shortcut only
+        # while no route is more specific than /24 — a longer prefix
+        # must win, so its presence disables the dict and lookups fall
+        # back to the longest-prefix-first scan.
+        self._fast24 = {}
+        self._longest = 0
 
     def add(self, prefix, prefixlen, iface, gateway=None):
         self.generation += 1
@@ -57,6 +65,12 @@ class RouteTable:
         self._routes.append(route)
         # Longest prefix first so lookup can take the first match.
         self._routes.sort(key=lambda r: -r.prefixlen)
+        if prefixlen == 24:
+            # setdefault: among equal /24s the scan returns the one
+            # added first (the sort is stable), so keep that one.
+            self._fast24.setdefault(route.prefix, route)
+        if prefixlen > self._longest:
+            self._longest = prefixlen
         return route
 
     def remove(self, prefix, prefixlen):
@@ -66,12 +80,27 @@ class RouteTable:
             if route.prefix == target and route.prefixlen == prefixlen:
                 del self._routes[i]
                 self.generation += 1
+                self._reindex()
                 return True
         return False
+
+    def _reindex(self):
+        """Rebuild the /24 fast path after a removal."""
+        self._fast24 = {}
+        self._longest = 0
+        for route in self._routes:
+            if route.prefixlen == 24:
+                self._fast24.setdefault(route.prefix, route)
+            if route.prefixlen > self._longest:
+                self._longest = route.prefixlen
 
     def lookup(self, dst):
         """The most specific route for ``dst``, or None."""
         dst = ip_aton(dst)
+        if self._longest <= 24:
+            route = self._fast24.get(dst & 0xFFFFFF00)
+            if route is not None:
+                return route
         for route in self._routes:
             if route.matches(dst):
                 return route

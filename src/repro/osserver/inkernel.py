@@ -290,6 +290,9 @@ def _apply_sockopt(desc, option, value):
     elif option == "keepalive":
         if desc.kind == SOCK_STREAM:
             session.conn.config.keepalive = bool(value)
+            # An already-idle session may have been parked by the
+            # scale-mode tick registry; keepalive duty restarts it.
+            session.stack.touch(session)
     else:
         raise SocketError("unknown socket option %r" % option)
 

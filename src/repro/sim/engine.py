@@ -36,6 +36,11 @@ class Simulator:
         self._now = 0.0
         #: Future work: a heap of (when, seq, fn, args).
         self._queue = []
+        #: How to push onto ``_queue``.  Subclasses with a different
+        #: future store (see :mod:`repro.sim.wheel`) swap this out; the
+        #: timer fast paths in :mod:`repro.sim.process` call it too, so
+        #: every future item funnels through one replaceable entry point.
+        self._heappush = heapq.heappush
         #: Same-timestamp work: a FIFO of (fn, args) callables and
         #: (None, event) dispatches, all at the current time.
         self._ready = deque()
@@ -76,7 +81,7 @@ class Simulator:
     def call_at(self, when, fn, *args):
         """Run ``fn(*args)`` at absolute simulated time ``when``."""
         if when > self._now:
-            heapq.heappush(self._queue, (when, next(self._seq), fn, args))
+            self._heappush(self._queue, (when, next(self._seq), fn, args))
         elif when == self._now:
             self._ready.append((fn, args))
         else:

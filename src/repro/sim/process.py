@@ -22,8 +22,6 @@ fire entry, and a fire made stale by an interrupt no-ops on its token
 check, exactly as a skipped hop would have.
 """
 
-from heapq import heappush
-
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import Event, PENDING, SUCCEEDED
 
@@ -84,7 +82,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_wait_token", "_alive", "_event_cb",
                  "_charge", "_charge_i", "_charge_waiter", "_charge_cb",
-                 "waiting_on", "trace_ctx")
+                 "waiting_on", "trace_ctx", "domain")
 
     def __init__(self, sim, generator, name=""):
         if not hasattr(generator, "send"):
@@ -111,6 +109,10 @@ class Process(Event):
         #: Trace id of the packet this process is currently working on
         #: (see :mod:`repro.trace`); None when no trace is active.
         self.trace_ctx = None
+        #: Locality key (usually a host name) for scale-out worlds; see
+        #: :class:`~repro.sim.scale.ScaleSimulator`.  None on the default
+        #: engine, where dispatch order is purely sequence order.
+        self.domain = None
 
     @property
     def alive(self):
@@ -227,8 +229,8 @@ class Process(Event):
                 fire = (self._timeout_fire, (target.value, token))
                 when = sim._now + target.delay
                 if when > sim._now:
-                    heappush(sim._queue,
-                             (when, next(sim._seq), ready_append, (fire,)))
+                    sim._heappush(sim._queue,
+                                  (when, next(sim._seq), ready_append, (fire,)))
                 else:
                     ready_append((ready_append, (fire,)))
                 return
@@ -255,9 +257,9 @@ class Process(Event):
                         fire = (self._charge_fire, (token,))
                         when = sim._now + cost
                         if when > sim._now:
-                            heappush(sim._queue,
-                                     (when, next(sim._seq),
-                                      ready_append, (fire,)))
+                            sim._heappush(sim._queue,
+                                          (when, next(sim._seq),
+                                           ready_append, (fire,)))
                         else:
                             ready_append((ready_append, (fire,)))
                     return
@@ -339,8 +341,8 @@ class Process(Event):
                 fire = (self._charge_fire, (token,))
                 when = sim._now + cost
                 if when > sim._now:
-                    heappush(sim._queue,
-                             (when, next(sim._seq), ready_append, (fire,)))
+                    sim._heappush(sim._queue,
+                                  (when, next(sim._seq), ready_append, (fire,)))
                 else:
                     ready_append((ready_append, (fire,)))
             return None
@@ -361,8 +363,8 @@ class Process(Event):
         fire = (self._charge_fire, (token,))
         when = sim._now + cost
         if when > sim._now:
-            heappush(sim._queue,
-                     (when, next(sim._seq), ready_append, (fire,)))
+            sim._heappush(sim._queue,
+                          (when, next(sim._seq), ready_append, (fire,)))
         else:
             ready_append((ready_append, (fire,)))
 

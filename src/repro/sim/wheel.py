@@ -1,0 +1,189 @@
+"""A calendar-queue future-event store for scale-out worlds.
+
+The default :class:`~repro.sim.engine.Simulator` keeps future work in a
+binary heap — perfect for the paper's two-host 1993 testbeds, where the
+queue holds a few dozen entries.  A 500–1000-host world keeps tens of
+thousands of timers live at once (TCP slow/fast ticks, ARP retries,
+wire deliveries, workload arrivals), and the heap's ``O(log n)`` per
+operation plus cold comparisons start to show.  The classic fix is
+Brown's calendar queue (CACM 1988): hash events into time buckets so
+push and pop run in amortized constant time.
+
+This variant is a *ring of day buckets plus an overflow heap*:
+
+* the ring covers a sliding window ``[base, base + width * nbuckets)``;
+  an item lands in bucket ``(when - base) // width``, kept sorted by
+  ``(when, seq)`` via binary insort (buckets stay short, so the insort
+  memmove is cheap);
+* items beyond the window go to an overflow heap; when the ring drains,
+  the window re-anchors at the overflow's earliest item and one
+  window's worth of items is decanted into the ring (already in heap
+  order, so decanting is a plain append per item);
+* a cursor remembers the first possibly-nonempty bucket, so pop/peek
+  never rescan the whole ring.
+
+Ordering is *exactly* the heap's: items pop in ``(when, seq)`` order,
+ties in time broken by the global insertion sequence number, so a
+simulator backed by this store replays the same deterministic schedule
+for the same seed.  The interface mirrors what the engine actually does
+with its heap — ``heappush(queue, item)``, ``queue[0][0]`` to peek the
+next deadline, ``len``/truthiness — so the engine's run loops need no
+store-specific branches.
+"""
+
+from bisect import insort
+from heapq import heappop, heappush
+from math import floor
+
+
+class CalendarQueue:
+    """Future ``(when, seq, fn, args)`` items in exact ``(when, seq)`` order."""
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_base", "_cursor",
+                 "_ring_count", "_overflow", "_len")
+
+    def __init__(self, width=64.0, nbuckets=8192):
+        if width <= 0:
+            raise ValueError("bucket width must be positive: %r" % width)
+        if nbuckets <= 0:
+            raise ValueError("need at least one bucket: %r" % nbuckets)
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._nbuckets = nbuckets
+        self._width = width
+        self._base = 0.0
+        self._cursor = 0
+        self._ring_count = 0
+        self._overflow = []
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Heap-compatible surface
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._len
+
+    def __getitem__(self, index):
+        """``queue[0][0]`` peeks the earliest deadline, as with a heap."""
+        if index != 0 or self._len == 0:
+            raise IndexError(index)
+        return (self.peek_when(),)
+
+    @staticmethod
+    def heappush(queue, item):
+        """Signature-compatible stand-in for :func:`heapq.heappush`."""
+        queue.push(item)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def push(self, item):
+        when = item[0]
+        if self._len == 0:
+            # Empty: re-anchor the window at this item.
+            self._base = floor(when / self._width) * self._width
+            self._cursor = 0
+        elif when < self._base:
+            # An item before the window start (only happens when a
+            # bounded run() left the clock behind a re-anchored window,
+            # or under arbitrary standalone use).  Rebuild — rare.
+            self._rebase(when)
+        idx = int((when - self._base) / self._width)
+        if idx >= self._nbuckets:
+            heappush(self._overflow, item)
+        else:
+            insort(self._buckets[idx], item)
+            self._ring_count += 1
+            if idx < self._cursor:
+                self._cursor = idx
+        self._len += 1
+
+    def pop(self):
+        """Remove and return the earliest item (ties by sequence)."""
+        if self._len == 0:
+            raise IndexError("pop from an empty CalendarQueue")
+        if self._ring_count == 0:
+            self._refill()
+        buckets = self._buckets
+        cur = self._cursor
+        while not buckets[cur]:
+            cur += 1
+        self._cursor = cur
+        item = buckets[cur].pop(0)
+        self._ring_count -= 1
+        self._len -= 1
+        return item
+
+    def peek_when(self):
+        """The earliest deadline, or None when empty.  Does not remove."""
+        if self._len == 0:
+            return None
+        if self._ring_count == 0:
+            self._refill()
+        buckets = self._buckets
+        cur = self._cursor
+        while not buckets[cur]:
+            cur += 1
+        self._cursor = cur
+        return buckets[cur][0][0]
+
+    # ------------------------------------------------------------------
+    # Window maintenance
+    # ------------------------------------------------------------------
+
+    def _refill(self):
+        """Ring drained: slide the window to the overflow's earliest item
+        and decant one window's worth of overflow into the ring."""
+        overflow = self._overflow
+        width = self._width
+        nbuckets = self._nbuckets
+        base = floor(overflow[0][0] / width) * width
+        self._base = base
+        self._cursor = 0
+        end = base + width * nbuckets
+        buckets = self._buckets
+        last = nbuckets - 1
+        count = 0
+        while overflow and overflow[0][0] < end:
+            item = heappop(overflow)
+            idx = int((item[0] - base) / width)
+            if idx > last:  # guard against float round-up at the edge
+                idx = last
+            # Heap pops arrive in (when, seq) order, so appending keeps
+            # every bucket sorted without an insort.
+            buckets[idx].append(item)
+            count += 1
+        self._ring_count = count
+
+    def _rebase(self, new_min):
+        """Rebuild the whole structure with the window anchored at or
+        below ``new_min``.  O(n); reached only on backwards pushes."""
+        items = []
+        for bucket in self._buckets:
+            if bucket:
+                items.extend(bucket)
+                del bucket[:]
+        items.extend(self._overflow)
+        del self._overflow[:]
+        self._base = floor(new_min / self._width) * self._width
+        self._cursor = 0
+        self._ring_count = 0
+        base = self._base
+        width = self._width
+        nbuckets = self._nbuckets
+        overflow = self._overflow
+        buckets = self._buckets
+        count = 0
+        for item in items:
+            idx = int((item[0] - base) / width)
+            if idx >= nbuckets:
+                heappush(overflow, item)
+            else:
+                insort(buckets[idx], item)
+                count += 1
+        self._ring_count = count
+
+    def __repr__(self):
+        return "<CalendarQueue len=%d ring=%d overflow=%d base=%r>" % (
+            self._len, self._ring_count, len(self._overflow), self._base)

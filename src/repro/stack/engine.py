@@ -22,6 +22,7 @@ from repro.net.tcp.output import rst_for
 from repro.net.tcp.tcb import TCPError
 from repro.net.tcp.timers import FAST_TICK_US, SLOW_TICK_US
 from repro.sim.process import Timeout
+from repro.sim.scale import ScaleSimulator
 from repro.stack.instrument import Layer
 from repro.trace import adopt_trace, current_trace
 
@@ -99,6 +100,11 @@ class TCPSession:
         #: (false for accepted children, which share the listener's port,
         #: and for sessions migrated in from another stack).
         self.owns_port = owns_port
+        #: Scale-mode tick registry bookkeeping: the stack's slow-tick
+        #: count when this session was parked as quiescent, or None
+        #: while enrolled (or on the default engine, which ticks every
+        #: session unconditionally).
+        self._detick_slow = None
 
     @property
     def local(self):
@@ -191,6 +197,7 @@ class NetworkStack:
         self.unmatched_tcp = 0
         self.unmatched_udp = 0
         self.ip_input_errors = 0
+        self.not_for_host = 0
         #: 4-tuples of sessions migrated away from this stack.  Straggler
         #: segments for them are dropped silently (the peer retransmits
         #: into the session's new filter) instead of drawing a RST.
@@ -204,6 +211,16 @@ class NetworkStack:
         self.icmp_echoes_answered = 0
         self.icmp_errors_sent = 0
         self.select_notify = Notifier(ctx.sim, "select")
+        #: Scale-mode armed-session registry.  On the default engine
+        #: (None) the timer loop scans every session each tick, exactly
+        #: as 1993 BSD did — the bit-identical contract.  On a
+        #: :class:`~repro.sim.scale.ScaleSimulator` the loop touches
+        #: only sessions that actually need ticking (a pending delayed
+        #: ACK, an armed countdown timer, a running RTT measurement, or
+        #: keepalive duty), so a world with thousands of mostly-idle
+        #: sessions pays per armed session, not per session.
+        self._armed = {} if isinstance(ctx.sim, ScaleSimulator) else None
+        self._slow_ticks = 0
         self._timer_proc = ctx.sim.spawn(self._timer_loop(), name="%s.timers" % name)
 
     def shutdown(self, interrupt=False):
@@ -283,6 +300,7 @@ class NetworkStack:
         p = self.ctx.params
         data = bytes(data)
         sent = 0
+        self._arm(session)
         self._trace_send_entry(len(data))
         yield self.ctx.charge_lock(Layer.ENTRY_COPYIN)
         while sent < len(data):
@@ -387,10 +405,43 @@ class NetworkStack:
     # Session registration and migration
     # ------------------------------------------------------------------
 
+    def _arm(self, session):
+        """Enroll a session in the scale-mode tick registry (no-op on
+        the default engine).
+
+        A session re-enrolling after a quiescent stretch is credited the
+        slow ticks it slept through: BSD's ``t_idle`` keeps counting on
+        an idle connection, and tcp_output's idle-restart of the
+        congestion window depends on it."""
+        armed = self._armed
+        if armed is None or session in armed:
+            return
+        detick = session._detick_slow
+        if detick is not None:
+            session.conn.t_idle += self._slow_ticks - detick
+            session._detick_slow = None
+        armed[session] = True
+
+    def touch(self, session):
+        """Public re-enrollment hook (e.g. enabling keepalive on an
+        already-idle session must restart its ticks)."""
+        self._arm(session)
+
+    @staticmethod
+    def _needs_ticks(conn):
+        """Whether a session still needs the 200/500 ms tick stream."""
+        if conn.delack_pending or conn.t_rtt:
+            return True
+        for ticks in conn.timers.values():
+            if ticks:
+                return True
+        return conn.config.keepalive and conn.is_established
+
     def _register(self, session):
         lport = session.local[1]
         rip, rport = session.remote if session.remote else (None, None)
         self._tcp[(lport, rip, rport)] = session
+        self._arm(session)
 
     def _deregister(self, session):
         lport = session.local[1]
@@ -565,6 +616,7 @@ class NetworkStack:
     def _tcp_drain(self, session):
         """Transmit everything the TCP machine queued (charging the
         tcp_output layer costs)."""
+        self._arm(session)
         conn = session.conn
         while conn.has_output():
             for seg in conn.take_output():
@@ -615,6 +667,15 @@ class NetworkStack:
             # session funnels through the same consumer process.
             self.ip_input_errors += 1
             return
+        if header.dst != self.env.local_ip:
+            # Not addressed to this host.  The in-kernel placements catch
+            # whole protocols with one filter, so on a shared segment a
+            # stack sees its neighbors' traffic; answering it (RSTs, port
+            # unreachables) or delivering it to a same-port session would
+            # corrupt the neighbors' sessions.  BSD's ip_input drops here
+            # unless the host is a forwarder; so do we.
+            self.not_for_host += 1
+            return
         if header.proto == ip.PROTO_TCP:
             yield from self._tcp_input(header, payload)
         elif header.proto == ip.PROTO_UDP:
@@ -645,6 +706,8 @@ class NetworkStack:
             return
         conn = session.conn
         was_listener = conn.state == TCPState.LISTEN
+        if not was_listener:
+            self._arm(session)
         session.last_rx_trace = current_trace(self.ctx.sim)
         conn.segment_arrives(seg, src_ip=header.src)
         if was_listener and conn.state == TCPState.SYN_RECEIVED:
@@ -874,8 +937,14 @@ class NetworkStack:
     # ==================================================================
 
     def _timer_loop(self):
-        """Drive TCP's 200 ms fast and 500 ms slow timers for every
-        session this stack owns."""
+        """Drive TCP's 200 ms fast and 500 ms slow timers.
+
+        On the default engine every session the stack owns is scanned
+        each tick, as 1993 BSD's ``tcp_slowtimo`` did.  In scale mode
+        the armed-session registry replaces that linear scan: only
+        sessions with live timer work are visited, quiescent ones park
+        until an API call, arriving segment, or drain re-arms them (see
+        :meth:`_arm`)."""
         elapsed = 0.0
         next_slow = SLOW_TICK_US
         while not self._shutdown:
@@ -884,6 +953,7 @@ class NetworkStack:
             slow = elapsed >= next_slow
             if slow:
                 next_slow += SLOW_TICK_US
+                self._slow_ticks += 1
                 # Telemetry piggybacks on the slow tick: pull gauges get
                 # sampled here without any dedicated simulation process.
                 # Every stack's timer loop ticks at the same instants, so
@@ -891,10 +961,15 @@ class NetworkStack:
                 m = self.metrics
                 if m is not None and m.enabled:
                     m.sample()
-            for session in list(self._tcp.values()):
+            armed = self._armed
+            sessions = list(self._tcp.values()) if armed is None else list(armed)
+            for session in sessions:
                 conn = session.conn
                 if conn.state == TCPState.CLOSED:
                     self._maybe_reap(session)
+                    if armed is not None:
+                        armed.pop(session, None)
+                        session._detick_slow = None
                     continue
                 conn.tick_fast()
                 if slow:
@@ -904,6 +979,14 @@ class NetworkStack:
                     yield from self._wake(session.notify, session.selected)
                 elif slow and conn.state == TCPState.CLOSED:
                     yield from self._wake(session.notify, session.selected)
+                if armed is not None:
+                    if conn.state == TCPState.CLOSED:
+                        self._maybe_reap(session)
+                        armed.pop(session, None)
+                        session._detick_slow = None
+                    elif slow and not self._needs_ticks(conn):
+                        armed.pop(session, None)
+                        session._detick_slow = self._slow_ticks
 
     # ==================================================================
     # Introspection

@@ -30,7 +30,7 @@ class RouterInterface:
         self.router = router
         self.ip = ip_aton(ip_addr)
         self.prefixlen = prefixlen
-        self.mac = make_mac(router.host_id * 100 + index)
+        self.mac = make_mac(router.host_id * 1000 + index)
         self.name = "%s.if%d" % (router.name, index)
         self.nic = NIC(router.sim, wire, self.mac, model=nic_model,
                        name=self.name)
@@ -88,6 +88,13 @@ class Router:
     # ------------------------------------------------------------------
 
     def _input(self, iface, frame):
+        # Station-address filter, as NIC hardware does: only frames for
+        # this interface (or broadcast ARP) are processed.  On a shared
+        # segment the router would otherwise reflect neighbor-to-neighbor
+        # unicast traffic back onto the wire as duplicates.
+        dst = bytes(frame[0:6])
+        if dst != iface.mac and dst != BROADCAST_MAC:
+            return
         p = self.ctx.params
         yield self.ctx.charge(Layer.DEVICE_READ,
                                    p.interrupt_entry

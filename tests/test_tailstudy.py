@@ -1,0 +1,105 @@
+"""The tail-latency study CLI: argument validation, JSON shape,
+determinism, and the chaos CLI's unknown-scenario exit."""
+
+import json
+
+import pytest
+
+from repro.analysis import chaos, tailstudy
+
+
+# ----------------------------------------------------------------------
+# Argument validation: one-line stderr message, exit code 2
+# ----------------------------------------------------------------------
+
+def test_unknown_topology_exits_2(capsys):
+    assert tailstudy.main(["--topology", "torus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown topology" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_unknown_placement_exits_2(capsys):
+    assert tailstudy.main(["--placements", "mach25,warp9"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown placement" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_bad_loads_exit_2(capsys):
+    assert tailstudy.main(["--loads", "0.1,fast"]) == 2
+    assert "--loads" in capsys.readouterr().err
+
+
+def test_empty_placements_exit_2(capsys):
+    assert tailstudy.main(["--placements", ","]) == 2
+    assert "at least one" in capsys.readouterr().err
+
+
+def test_chaos_unknown_scenario_exits_2(capsys):
+    assert chaos.main(["--scenario", "bogus/never/exists"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+# ----------------------------------------------------------------------
+# Happy path: all placements, all four percentiles, one command
+# ----------------------------------------------------------------------
+
+_FAST = [
+    "--hosts", "4", "--loads", "0.05",
+    "--window-us", "300000", "--drain-us", "200000",
+    "--seed", "7",
+]
+
+
+def test_sweep_reports_all_percentiles_for_all_placements(
+        tmp_path, capsys):
+    out = tmp_path / "tail.json"
+    rc = tailstudy.main(_FAST + [
+        "--placements", "mach25,ux,library-shm",
+        "-o", str(out), "--markdown",
+    ])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == tailstudy.SCHEMA
+    assert len(doc["results"]) == 3
+    assert ({r["placement"] for r in doc["results"]}
+            == {"mach25", "ux", "library-shm"})
+    for cell in doc["results"]:
+        assert cell["completed"] > 0
+        for _p, name in tailstudy.PERCENTILES:
+            assert cell["latency_us"][name] is not None
+            assert cell["latency_us"][name] > 0
+        # Percentiles are monotone by construction.
+        lat = cell["latency_us"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["p999"]
+    table = capsys.readouterr().out
+    for placement in ("mach25", "ux", "library-shm"):
+        assert placement in table
+    assert "| 0.05 |" in table
+
+
+def test_sweep_is_deterministic_across_runs(tmp_path):
+    docs = []
+    for run in range(2):
+        out = tmp_path / ("tail%d.json" % run)
+        rc = tailstudy.main(_FAST + ["--placements", "mach25",
+                                     "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        doc.pop("wallclock_seconds")
+        docs.append(doc)
+    assert docs[0] == docs[1]
+
+
+def test_rate_for_load_scales_linearly():
+    args = dict(request_bytes=64, reply_bytes=200, fanout=2,
+                us_per_byte=0.8)
+    r1 = tailstudy.rate_for_load(0.1, args)
+    r2 = tailstudy.rate_for_load(0.2, args)
+    assert r1 > 0
+    assert r2 == pytest.approx(2 * r1)

@@ -1,0 +1,180 @@
+"""Seeded topology generators: determinism, routing, and scale shape."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.protolat import protolat
+from repro.core.sockets import SOCK_STREAM
+from repro.net.addr import ip_aton
+from repro.net.routing import RouteTable
+from repro.world.topology import TOPOLOGY_KINDS, TopologySpec, build_world
+
+BOUND = 600_000_000
+
+
+# ----------------------------------------------------------------------
+# RouteTable /24 fast path (behavior must match the linear scan)
+# ----------------------------------------------------------------------
+
+def test_route_lookup_prefers_the_slash24():
+    table = RouteTable()
+    table.add("10.0.0.0", 8, iface="en0", gateway="10.1.0.254")
+    table.add("10.1.2.0", 24, iface="en0")
+    route = table.lookup("10.1.2.7")
+    assert route.prefixlen == 24 and route.is_direct
+    # Off-subnet addresses fall through to the /8.
+    assert table.lookup("10.9.9.9").prefixlen == 8
+
+
+def test_route_lookup_host_route_still_wins_over_slash24():
+    table = RouteTable()
+    table.add("10.1.2.0", 24, iface="en0")
+    table.add("10.1.2.7", 32, iface="en1")
+    assert table.lookup("10.1.2.7").prefixlen == 32
+    assert table.lookup("10.1.2.8").prefixlen == 24
+
+
+def test_route_remove_reindexes_the_fast_path():
+    table = RouteTable()
+    table.add("10.1.2.0", 24, iface="en0")
+    table.add("0.0.0.0", 0, iface="en0", gateway="10.1.2.254")
+    assert table.remove("10.1.2.0", 24)
+    assert table.lookup("10.1.2.7").prefixlen == 0
+
+
+def test_route_duplicate_slash24_returns_first_added():
+    table = RouteTable()
+    first = table.add("10.1.2.0", 24, iface="en0")
+    table.add("10.1.2.0", 24, iface="en1")
+    assert table.lookup("10.1.2.9") is first
+
+
+# ----------------------------------------------------------------------
+# Fingerprint determinism.  The golden hashes below must be identical on
+# every supported interpreter (3.10/3.11/3.12): the CI matrix runs this
+# same assertion on each, which is the cross-version determinism check.
+# ----------------------------------------------------------------------
+
+GOLDEN_FINGERPRINTS = {
+    "star": "85e5111cc4b9f8043fe525c6d84794b0de025aba631ba7438af5d6c26a49ce49",
+    "fattree": "4a0a8024eaa23ece07925cee71cb028ae50b91a41b6e5fdafc32e04b16e235a0",
+    "wan": "794931c14d38804010e895b13bb4daa77b71ffd3d3cb722632020c6dba203ad6",
+}
+
+
+def _small_spec(kind):
+    return TopologySpec(kind=kind, hosts=6, placement="mach25", seed=42,
+                        hosts_per_edge=2, spines=2, sites=3)
+
+
+@pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+def test_same_seed_same_fingerprint(kind):
+    a = build_world(_small_spec(kind))
+    b = build_world(_small_spec(kind))
+    assert a.fingerprint() == b.fingerprint()
+
+
+@pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+def test_different_seed_different_fingerprint(kind):
+    spec = _small_spec(kind)
+    a = build_world(spec)
+    b = build_world(replace(spec, seed=43))
+    assert a.fingerprint() != b.fingerprint()
+
+
+@pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+def test_fingerprint_matches_golden(kind):
+    world = build_world(_small_spec(kind))
+    assert world.fingerprint() == GOLDEN_FINGERPRINTS[kind]
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        build_world(TopologySpec(kind="torus", hosts=2))
+
+
+# ----------------------------------------------------------------------
+# Worlds actually carry traffic
+# ----------------------------------------------------------------------
+
+def test_star_crosses_the_hub():
+    world = build_world(TopologySpec(kind="star", hosts=3, seed=7))
+    assert len(world.hosts) == 3
+    assert len(world.routers) == 1
+    result = protolat(world, world.placements[1], world.placements[0],
+                      proto="udp", message_size=64, rounds=3)
+    assert result.rounds == 3
+    assert world.routers[0].forwarded > 0
+
+
+def test_fattree_routes_across_edges():
+    # 5 hosts over edges of 2: h000/h001 on edge0, h004 alone on edge2.
+    world = build_world(TopologySpec(kind="fattree", hosts=5, seed=7,
+                                     hosts_per_edge=2, spines=2))
+    assert len(world.routers) == 2 + 3  # 2 spines + 3 edges
+    api_a = world.new_app(0)
+    api_b = world.new_app(4)
+    ready = world.sim.event()
+
+    def server():
+        fd = yield from api_a.socket(SOCK_STREAM)
+        yield from api_a.bind(fd, 7700)
+        yield from api_a.listen(fd)
+        ready.succeed()
+        cfd, peer = yield from api_a.accept(fd)
+        data = yield from api_a.recv_exactly(cfd, 5000)
+        return peer, data
+
+    def client():
+        yield ready
+        fd = yield from api_b.socket(SOCK_STREAM)
+        yield from api_b.connect(fd, (world.hosts[0].ip, 7700))
+        yield from api_b.send_all(fd, b"x" * 5000)
+        return "sent"
+
+    (peer, data), _ = world.run_all([server(), client()], until=BOUND)
+    assert data == b"x" * 5000
+    assert peer[0] == world.hosts[4].ip
+    # The path crossed an edge router and a spine in each direction.
+    assert sum(r.forwarded for r in world.routers) > 0
+
+
+def test_fattree_same_edge_traffic_stays_local():
+    world = build_world(TopologySpec(kind="fattree", hosts=4, seed=7,
+                                     hosts_per_edge=4, spines=2))
+    result = protolat(world, world.placements[1], world.placements[0],
+                      proto="udp", message_size=64, rounds=3)
+    assert result.rounds == 3
+    assert sum(r.forwarded for r in world.routers) == 0
+
+
+def test_wan_propagation_shows_up_in_rtt():
+    near = build_world(TopologySpec(
+        kind="wan", hosts=2, sites=2, seed=7,
+        wan_propagation_us=(10.0, 11.0)))
+    far = build_world(TopologySpec(
+        kind="wan", hosts=2, sites=2, seed=7,
+        wan_propagation_us=(20_000.0, 20_001.0)))
+
+    def ping(world):
+        api = world.new_app(1)
+
+        def prog():
+            return (yield from api.ping(world.hosts[0].ip))
+
+        return world.run_all([prog()], until=BOUND)[0]
+
+    rtt_near, rtt_far = ping(near), ping(far)
+    assert rtt_near is not None and rtt_far is not None
+    # Two traversals of a ~20 ms link dominate everything else.
+    assert rtt_far - rtt_near > 30_000
+
+
+def test_star_world_builds_at_scale():
+    world = build_world(TopologySpec(kind="star", hosts=200, seed=1))
+    assert len(world.hosts) == 200
+    assert len(world.routers[0].interfaces) == 200
+    # Host subnets roll over cleanly past the 200-per-octet boundary.
+    assert world.hosts[0].ip == ip_aton("10.1.0.1")
+    assert world.hosts[199].ip == ip_aton("10.1.199.1")
