@@ -7,11 +7,17 @@ Subcommands::
     python -m repro netstat       # canned world, netstat-style report
     python -m repro probe         # metrics-enabled TCP transfer: cwnd
                                   # time series + telemetry summary
+    python -m repro forensics     # render a tailstudy --forensics
+                                  # document: attribution + exemplars
 
 ``netstat`` and ``probe`` build a small canned world, run a workload,
 and pretty-print what the observability layers saw.  ``probe`` can also
 export the tcp_probe series (``--jsonl``/``--csv``) and emit a
-markdown summary for CI step summaries (``--markdown``).
+markdown summary for CI step summaries (``--markdown``).  ``forensics``
+consumes a JSON document produced by ``python -m repro.analysis.tailstudy
+--forensics``: it prints the chosen cell's latency-attribution table and
+its slowest exemplar's critical path as a text timeline, and can export
+the exemplar as a chrome://tracing document (``--chrome``).
 
 For the full evaluation, run ``pytest benchmarks/ --benchmark-only`` or
 ``python -m repro.analysis.report``.
@@ -172,6 +178,79 @@ def cmd_probe(args):
     return 0
 
 
+def cmd_forensics(args):
+    import json
+
+    from repro.analysis.forensics import (
+        attribution_markdown,
+        exemplar_chrome_trace,
+        exemplar_timeline,
+        top_contributors,
+    )
+
+    try:
+        with open(args.json) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("forensics: cannot read %s: %s" % (args.json, exc),
+              file=sys.stderr)
+        return 2
+    cells = [r for r in doc.get("results", []) if "forensics" in r]
+    if not cells:
+        print("forensics: no forensic cells in %s (run tailstudy with "
+              "--forensics)" % args.json, file=sys.stderr)
+        return 2
+    if args.placement:
+        cells = [r for r in cells if r["placement"] == args.placement]
+    if args.load is not None:
+        cells = [r for r in cells if r["load"] == args.load]
+    if not cells:
+        print("forensics: no cell matches placement=%r load=%r"
+              % (args.placement, args.load), file=sys.stderr)
+        return 2
+    cell = cells[0]
+    block = cell["forensics"]
+    exemplars = block["exemplars"]
+
+    if args.summary:
+        rows = top_contributors(block, k=args.top)
+        print("### Top p99 contributors — %s load %.2f"
+              % (cell["placement"], cell["load"]))
+        print()
+        print("| # | layer | cause | us | share |")
+        print("|---|---|---|---|---|")
+        for i, row in enumerate(rows, 1):
+            share = ("%.1f%%" % (100.0 * row["share"])
+                     if row["share"] is not None else "n/a")
+            print("| %d | %s | %s | %.1f | %s |"
+                  % (i, row["layer"], row["cause"], row["us"], share))
+        return 0
+
+    print("cell: %s load %.2f — p99 %s us (%d completed, %d censored; "
+          "sampling 1-in-%d)"
+          % (cell["placement"], cell["load"], cell["latency_us"]["p99"],
+             cell["completed"], cell["censored"], block["sample_every"]))
+    which = "tail" if block["tail"]["rows"] else "attribution"
+    print()
+    print("latency attribution (%s, %d requests, %.1f us total):"
+          % (which, block[which]["requests"], block[which]["total_us"]))
+    print(attribution_markdown(block, which=which))
+    if not exemplars:
+        print("\n(no exemplars: no sampled request completed)")
+        return 1
+    exemplar = exemplars[0]
+    print()
+    print(exemplar_timeline(exemplar))
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            json.dump(exemplar_chrome_trace(exemplar), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print("\nwrote chrome trace to %s (open in chrome://tracing)"
+              % args.chrome, file=sys.stderr)
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -202,11 +281,30 @@ def main(argv=None):
                          help="print only a markdown summary table "
                               "(for CI step summaries)")
 
+    p_forensics = sub.add_parser(
+        "forensics", help="render a tailstudy --forensics document")
+    p_forensics.add_argument("json", metavar="TAILSTUDY_JSON",
+                             help="document from tailstudy --forensics")
+    p_forensics.add_argument("--placement", default=None,
+                             help="select the cell by placement key")
+    p_forensics.add_argument("--load", type=float, default=None,
+                             help="select the cell by offered load")
+    p_forensics.add_argument("--chrome", metavar="PATH",
+                             help="write the exemplar as a chrome trace")
+    p_forensics.add_argument("--summary", action="store_true",
+                             help="print only the top-contributors "
+                                  "markdown (for CI step summaries)")
+    p_forensics.add_argument("--top", type=int, default=3,
+                             help="contributors in --summary "
+                                  "(default %(default)s)")
+
     args = parser.parse_args(argv)
     if args.command == "netstat":
         return cmd_netstat(args)
     if args.command == "probe":
         return cmd_probe(args)
+    if args.command == "forensics":
+        return cmd_forensics(args)
     return cmd_demo(args)
 
 

@@ -111,6 +111,9 @@ def host_report(placement):
             "enabled": tracer.enabled,
             "spans_recorded": tracer.spans_recorded,
             "spans_retained": len(tracer.spans),
+            "spans_evicted": tracer.spans_evicted,
+            "waits_recorded": tracer.waits_recorded,
+            "waits_evicted": tracer.waits_evicted,
         }
     metrics = getattr(host, "metrics", None)
     if metrics is not None:
@@ -269,9 +272,14 @@ def format_report(report):
         metrics = report.get("metrics")
         parts = []
         if tracer is not None:
-            parts.append("tracer %s (%d spans)"
-                         % ("on" if tracer["enabled"] else "off",
-                            tracer["spans_recorded"]))
+            part = ("tracer %s (%d spans)"
+                    % ("on" if tracer["enabled"] else "off",
+                       tracer["spans_recorded"]))
+            evicted = (tracer.get("spans_evicted", 0)
+                       + tracer.get("waits_evicted", 0))
+            if evicted:
+                part += " LOSSY: %d evicted" % evicted
+            parts.append(part)
         if metrics is not None:
             parts.append("metrics %s (%d registered, %d tcp probes)"
                          % ("on" if metrics["enabled"] else "off",

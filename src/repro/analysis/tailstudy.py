@@ -33,8 +33,10 @@ import json
 import sys
 import time
 
+from repro.analysis.forensics import attribution_markdown, cell_forensics
 from repro.analysis.timeseries import percentiles
 from repro.hw.wire import frame_wire_bytes
+from repro.trace import RequestTracer
 from repro.world.configs import CONFIGS
 from repro.world.topology import (
     TOPOLOGY_KINDS,
@@ -63,19 +65,31 @@ def rate_for_load(load, spec_args):
     return load / us_per_request * 1_000_000.0
 
 
-def run_cell(topology_args, workload_args, placement, load):
-    """One (placement, load) cell: fresh world, one workload run."""
+def run_cell(topology_args, workload_args, placement, load,
+             forensics=None):
+    """One (placement, load) cell: fresh world, one workload run.
+
+    ``forensics`` (a dict of ``sample_every`` / ``capacity`` /
+    ``exemplars``) turns on sampled request tracing for the run and
+    adds a per-cell latency-attribution block to the result.
+    """
     tspec = TopologySpec(placement=placement, **topology_args)
     world = build_world(tspec)
     warm_arp(world)
+    rt = None
+    if forensics is not None:
+        world.tracer.enable(capacity=forensics["capacity"])
+        rt = RequestTracer(world.tracer,
+                           sample_every=forensics["sample_every"],
+                           seed=topology_args["seed"])
     rate = rate_for_load(load, dict(workload_args,
                                     us_per_byte=tspec.us_per_byte))
     wspec = WorkloadSpec(rate_per_client=float(rate), **workload_args)
-    result = run_workload(world, wspec)
+    result = run_workload(world, wspec, request_tracer=rt)
     pcts = percentiles(result.latencies_us,
                        tuple(p for p, _name in PERCENTILES))
     samples = result.latencies_us
-    return {
+    cell = {
         "placement": placement,
         "load": load,
         "rate_per_client": round(rate, 6),
@@ -90,10 +104,20 @@ def run_cell(topology_args, workload_args, placement, load):
         },
         "world_fingerprint": world.fingerprint(),
     }
+    if rt is not None:
+        cell["forensics"] = cell_forensics(
+            world.tracer, rt, p99_us=pcts[0.99],
+            exemplar_cap=forensics["exemplars"])
+    return cell
 
 
 def markdown_table(results):
-    """A p99-versus-load table, placements across the columns."""
+    """A p99-versus-load table, placements across the columns.
+
+    Each cell carries its sample counts (``n`` completed, ``c``
+    censored) so a 9-request cell cannot masquerade as a 9000-request
+    one.
+    """
     placements = sorted({r["placement"] for r in results})
     loads = sorted({r["load"] for r in results})
     by_cell = {(r["placement"], r["load"]): r for r in results}
@@ -104,11 +128,33 @@ def markdown_table(results):
         cells = []
         for placement in placements:
             r = by_cell.get((placement, load))
-            p99 = r["latency_us"]["p99"] if r else None
-            cells.append("%.3f" % (p99 / 1000.0) if p99 is not None
-                         else "n/a")
+            if r is None:
+                cells.append("n/a")
+                continue
+            p99 = r["latency_us"]["p99"]
+            counts = "n=%d c=%d" % (r["completed"], r["censored"])
+            cells.append("%.3f (%s)" % (p99 / 1000.0, counts)
+                         if p99 is not None else "n/a (%s)" % counts)
         lines.append("| %.2f | " % load + " | ".join(cells) + " |")
     return "\n".join(lines)
+
+
+def forensics_markdown(results):
+    """Per-cell "why is p99 slow" attribution tables (forensic cells
+    only)."""
+    sections = []
+    for r in results:
+        block = r.get("forensics")
+        if block is None:
+            continue
+        table = "tail" if block["tail"]["rows"] else "attribution"
+        sections.append(
+            "### %s load %.2f — p99 attribution (%s, %d sampled "
+            "requests)\n\n%s"
+            % (r["placement"], r["load"], table,
+               block[table]["requests"],
+               attribution_markdown(block, which=table)))
+    return "\n\n".join(sections)
 
 
 def main(argv=None):
@@ -143,6 +189,15 @@ def main(argv=None):
                         help="write the JSON document here")
     parser.add_argument("--markdown", action="store_true",
                         help="print a p99-vs-load markdown table")
+    parser.add_argument("--forensics", action="store_true",
+                        help="trace sampled requests; adds a per-cell "
+                             "latency-attribution block")
+    parser.add_argument("--sample-every", type=int, default=16,
+                        help="trace 1-in-N request ids (default 16)")
+    parser.add_argument("--trace-capacity", type=int, default=1 << 18,
+                        help="span ring capacity while tracing")
+    parser.add_argument("--exemplars", type=int, default=3,
+                        help="slow-request exemplars kept per cell")
     args = parser.parse_args(argv)
 
     if args.topology not in TOPOLOGY_KINDS:
@@ -167,6 +222,15 @@ def main(argv=None):
         print("tailstudy: need at least one placement and one load",
               file=sys.stderr)
         return 2
+    if args.sample_every < 1:
+        print("tailstudy: --sample-every must be >= 1, got %d"
+              % args.sample_every, file=sys.stderr)
+        return 2
+    forensics = None
+    if args.forensics:
+        forensics = {"sample_every": args.sample_every,
+                     "capacity": args.trace_capacity,
+                     "exemplars": max(1, args.exemplars)}
 
     topology_args = dict(
         kind=args.topology, hosts=args.hosts, seed=args.seed,
@@ -184,7 +248,8 @@ def main(argv=None):
     results = []
     for placement in placements:
         for load in loads:
-            cell = run_cell(topology_args, workload_args, placement, load)
+            cell = run_cell(topology_args, workload_args, placement, load,
+                            forensics=forensics)
             results.append(cell)
             print("tailstudy: %-14s load %.2f  issued %5d  completed %5d"
                   "  p99 %s us"
@@ -198,6 +263,11 @@ def main(argv=None):
             "workload": workload_args,
             "loads": loads,
             "placements": placements,
+            "forensics": {
+                "enabled": forensics is not None,
+                "sample_every": (args.sample_every
+                                 if forensics is not None else None),
+            },
         },
         "results": results,
         "wallclock_seconds": round(time.time() - started, 3),
@@ -208,6 +278,11 @@ def main(argv=None):
             fh.write("\n")
     if args.markdown:
         print(markdown_table(results))
+        if forensics is not None:
+            section = forensics_markdown(results)
+            if section:
+                print()
+                print(section)
     empty = [r for r in results if r["completed"] == 0]
     if empty:
         print("tailstudy: %d cell(s) completed zero requests"

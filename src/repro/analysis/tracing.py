@@ -9,6 +9,7 @@ enforces the invariant, and a breakdown runner that derives the paper's
 Table 4 from real packet timelines instead of the raw ledgers.
 """
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.apps.protolat import protolat
@@ -23,6 +24,11 @@ BREAKDOWN_CAPACITY = 1 << 20
 
 class TraceMismatch(AssertionError):
     """The folded span stream disagrees with the accounting ledgers."""
+
+
+class TraceRingOverflow(UserWarning):
+    """A fold was computed over a lossy ring: spans were overwritten,
+    so the totals undercount and any ledger comparison is suspect."""
 
 
 def placement_ledgers(*placements):
@@ -48,6 +54,12 @@ def crosscheck(tracer, ledgers):
     invariant holds).  Equality is exact float equality: the fold replays
     the ledgers' additions in the same order, so even rounding must agree.
     """
+    if tracer.spans_evicted > 0:
+        warnings.warn(
+            "crosscheck over a lossy ring: %d spans evicted (capacity "
+            "%d); the fold undercounts" % (tracer.spans_evicted,
+                                           tracer.capacity),
+            TraceRingOverflow, stacklevel=2)
     fold = tracer.fold()
     problems = []
     for owner, acct in ledgers.items():

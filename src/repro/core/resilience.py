@@ -178,7 +178,30 @@ class ResilientCaller:
         self.budget_exhaustions = 0
 
     def call(self, op, args=(), data=b"", layer="rpc", req_id=None):
-        """Run one logical op to completion, failure, or fast-fail."""
+        """Run one logical op to completion, failure, or fast-fail.
+
+        When the caller is working a traced packet, the round trip's
+        whole duration — queueing on a broken port, backoff sleeps,
+        the RPC itself — is recorded as one ``control-plane`` wait span
+        (pure observation; the retry loop is unchanged).
+        """
+        tracer = getattr(self.ctx.accounting, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            started = self._sim.now
+            tid = tracer.current()
+            try:
+                result = yield from self._call(op, args, data, layer, req_id)
+            finally:
+                waited = self._sim.now - started
+                if tid is not None and waited > 0:
+                    tracer.record_wait(tid, self.ctx.accounting.owner,
+                                       "control/%s" % op, "control-plane",
+                                       started, waited)
+            return result
+        result = yield from self._call(op, args, data, layer, req_id)
+        return result
+
+    def _call(self, op, args, data, layer, req_id):
         from repro.sim.process import Timeout
 
         policy = self.policy

@@ -14,6 +14,7 @@ per-byte cost of moving data between host and device memory is charged by
 the *driver* (kernel code) using the platform's ``devmem_*`` parameters —
 that cost difference is the whole story of the Gateway's numbers."""
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.sim.sync import Channel
@@ -64,6 +65,16 @@ class NIC:
         #: enabled; None costs one test on the hot paths).
         self.rx_depth_gauge = None
         self.tx_depth_gauge = None
+        #: Per-packet trace recorder (bound by the Host; None elsewhere).
+        #: Used only to attribute ring-wait time — the NIC never begins
+        #: traces itself.
+        self.tracer = None
+        #: Enqueue timestamps parallel to the tx/rx rings, so the
+        #: consumer can attribute how long each frame sat queued.  Kept
+        #: unconditionally (plain float appends) because the rx deque's
+        #: consumer may live in another component (kernel or router).
+        self._tx_enq_us = deque()
+        self._rx_enq_us = deque()
         wire.attach(self)
         self._tx_proc = sim.spawn(self._transmitter(), name="%s.tx" % self.name)
 
@@ -84,6 +95,10 @@ class NIC:
         if trace_id is None:
             trace_id = current_trace(self._sim)
         yield from self._tx_ring.put(TaggedFrame.tag(bytes(frame), trace_id))
+        # Runs in the same synchronous continuation as the ring append
+        # (wakeups are scheduled, never synchronous), so the timestamp
+        # deque stays aligned with the ring.
+        self._tx_enq_us.append(self._sim.now)
         gauge = self.tx_depth_gauge
         if gauge is not None:
             gauge.record(len(self._tx_ring))
@@ -92,6 +107,16 @@ class NIC:
         """Device process: drain the TX ring onto the wire, in order."""
         while True:
             frame = yield from self._tx_ring.get()
+            enq_at = (self._tx_enq_us.popleft() if self._tx_enq_us
+                      else self._sim.now)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tid = frame_trace(frame)
+                if tid is not None:
+                    waited = self._sim.now - enq_at
+                    if waited > 0:
+                        tracer.record_wait(tid, self.name, "nic_tx_ring",
+                                           "queue", enq_at, waited)
             gauge = self.tx_depth_gauge
             if gauge is not None:
                 gauge.record(len(self._tx_ring))
@@ -117,10 +142,19 @@ class NIC:
             return
         self._rx_buffered += 1
         self.rx_ring.try_put(frame)
+        self._rx_enq_us.append(self._sim.now)
         self.frames_received += 1
         gauge = self.rx_depth_gauge
         if gauge is not None:
             gauge.record(self._rx_buffered)
+
+    def rx_pop_time(self):
+        """Consume the enqueue timestamp of the frame just taken off
+        :attr:`rx_ring`.  Every rx consumer (kernel interrupt loop,
+        router input loop) must call this once per ``get()`` to keep the
+        timestamp deque aligned with the ring."""
+        return (self._rx_enq_us.popleft() if self._rx_enq_us
+                else self._sim.now)
 
     def rx_release(self):
         """The driver finished copying a frame out of device memory."""

@@ -235,12 +235,21 @@ class Kernel:
         p = self.params
         while True:
             frame = yield from self.nic.rx_ring.get()
+            enq_at = self.nic.rx_pop_time()
             if self.tracer is not None:
                 trace_id = frame_trace(frame)
                 if trace_id is None and self.tracer.enabled:
                     self.tracer.begin("recv", host=self.name, size=len(frame))
                 else:
                     self.tracer.adopt(trace_id)
+                if self.tracer.enabled:
+                    tid = self.tracer.current()
+                    if tid is not None:
+                        waited = self.ctx.sim.now - enq_at
+                        if waited > 0:
+                            self.tracer.record_wait(
+                                tid, self.name, "nic_rx_ring", "queue",
+                                enq_at, waited)
             pre_cost = p.interrupt_entry
             yield self.ctx.charge(Layer.DEVICE_READ, p.interrupt_entry)
             if not self.integrated_filter:

@@ -82,7 +82,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_wait_token", "_alive", "_event_cb",
                  "_charge", "_charge_i", "_charge_waiter", "_charge_cb",
-                 "waiting_on", "trace_ctx", "domain")
+                 "waiting_on", "trace_ctx", "request_ctx", "domain")
 
     def __init__(self, sim, generator, name=""):
         if not hasattr(generator, "send"):
@@ -109,6 +109,10 @@ class Process(Event):
         #: Trace id of the packet this process is currently working on
         #: (see :mod:`repro.trace`); None when no trace is active.
         self.trace_ctx = None
+        #: Workload request id this process is issuing (stamped by a
+        #: :class:`~repro.trace.request.RequestTracer` around a client's
+        #: send burst); None otherwise.
+        self.request_ctx = None
         #: Locality key (usually a host name) for scale-out worlds; see
         #: :class:`~repro.sim.scale.ScaleSimulator`.  None on the default
         #: engine, where dispatch order is purely sequence order.
@@ -355,6 +359,21 @@ class Process(Event):
             return  # reneged (interrupt); release() forwarding handles it
         charge = self._charge
         cost = charge.pairs[self._charge_i][1]
+        waiter = self._charge_waiter
+        if self.trace_ctx is not None:
+            # The queued interval is CPU contention on the packet's
+            # critical path.  Pure observation (a ring append) — the
+            # schedule is byte-identical with tracing on or off.
+            accounting = charge.accounting
+            tracer = accounting.tracer
+            if (tracer is not None and tracer.enabled
+                    and waiter.queued_at is not None):
+                waited = self._sim._now - waiter.queued_at
+                if waited > 0:
+                    tracer.record_wait(
+                        self.trace_ctx, accounting.owner,
+                        charge.pairs[self._charge_i][0], "contention",
+                        waiter.queued_at, waited)
         self._charge_waiter = None
         self.waiting_on = charge
         sim = self._sim

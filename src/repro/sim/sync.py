@@ -23,13 +23,20 @@ from repro.sim.events import Event
 
 
 class _Waiter:
-    """A queue entry that can be withdrawn (lazy removal)."""
+    """A queue entry that can be withdrawn (lazy removal).
 
-    __slots__ = ("event", "alive")
+    ``queued_at`` is stamped by :meth:`PriorityLock.enqueue` only — the
+    CPU scheduler's queue is where contention waits are attributed to
+    packet traces (see :meth:`Process._on_charge_lock`); the other
+    primitives leave it None.
+    """
+
+    __slots__ = ("event", "alive", "queued_at")
 
     def __init__(self, event):
         self.event = event
         self.alive = True
+        self.queued_at = None
 
 
 class Lock:
@@ -146,6 +153,7 @@ class PriorityLock:
         forward the hand-off with :meth:`release`.
         """
         waiter = _Waiter(Event(self._sim, name=self._waiter_name))
+        waiter.queued_at = self._sim.now
         heapq.heappush(self._heap, (priority, next(self._seq), waiter))
         self._live += 1
         self.contended += 1

@@ -96,6 +96,12 @@ class TCPSession:
         #: Trace id of the most recent inbound segment (per-packet
         #: tracing); the receiver's copyout adopts it.
         self.last_rx_trace = None
+        #: When that segment landed in the receive buffer — consumed by
+        #: the next tcp_recv to attribute socket-buffer wait, then reset.
+        self.last_rx_time = None
+        #: Trace id of the most recent outbound segment; an RTO episode
+        #: in the timer loop is attributed to this trace.
+        self.last_tx_trace = None
         #: Whether closing this session releases its local port binding
         #: (false for accepted children, which share the listener's port,
         #: and for sessions migrated in from another stack).
@@ -127,7 +133,7 @@ class UDPSession:
         self.stack = stack
         self.local = local  # (ip, port)
         self.remote = None
-        self.queue = []  # [(src_addr, payload, trace_id)]
+        self.queue = []  # [(src_addr, payload, trace_id, enqueued_at)]
         self.queued_bytes = 0
         self.hiwat = hiwat
         self.notify = Notifier(stack.ctx.sim, "udp.notify")
@@ -146,7 +152,8 @@ class UDPSession:
         if self.queued_bytes + len(payload) > self.hiwat:
             self.drops += 1
             return False
-        self.queue.append((src_addr, payload, trace))
+        self.queue.append((src_addr, payload, trace,
+                           self.stack.ctx.sim.now))
         self.queued_bytes += len(payload)
         gauge = self.depth_gauge
         if gauge is not None:
@@ -154,12 +161,12 @@ class UDPSession:
         return True
 
     def dequeue(self):
-        src, payload, trace = self.queue.pop(0)
+        src, payload, trace, enqueued_at = self.queue.pop(0)
         self.queued_bytes -= len(payload)
         gauge = self.depth_gauge
         if gauge is not None:
             gauge.record(self.queued_bytes)
-        return src, payload, trace
+        return src, payload, trace, enqueued_at
 
     def __repr__(self):
         return "<UDPSession %s:%d>" % self.local
@@ -336,6 +343,20 @@ class NetworkStack:
                 if session.last_rx_trace is not None:
                     # Join the inbound segment's timeline for the copyout.
                     adopt_trace(self.ctx.sim, session.last_rx_trace)
+                    rx_time = session.last_rx_time
+                    session.last_rx_time = None  # consume: record once
+                    tracer = self.ctx.accounting.tracer
+                    if (tracer is not None and tracer.enabled
+                            and rx_time is not None):
+                        waited = self.ctx.sim.now - rx_time
+                        if waited > 0:
+                            tracer.record_wait(
+                                session.last_rx_trace, self.name,
+                                "socket_queue", "queue", rx_time, waited)
+                else:
+                    tracer = self.ctx.accounting.tracer
+                    if tracer is not None and tracer.requests is not None:
+                        adopt_trace(self.ctx.sim, None)
                 data = conn.receive(max_bytes)
                 if self.shared_buffers:
                     yield self.ctx.charge(
@@ -555,9 +576,21 @@ class NetworkStack:
                 error, session.error = session.error, None
                 raise error
             yield from self._wait_or_timeout(session.notify, deadline)
-        src, payload, rx_trace = session.dequeue()
+        src, payload, rx_trace, enqueued_at = session.dequeue()
         if rx_trace is not None:
             adopt_trace(self.ctx.sim, rx_trace)
+            tracer = self.ctx.accounting.tracer
+            if tracer is not None and tracer.enabled:
+                waited = self.ctx.sim.now - enqueued_at
+                if waited > 0:
+                    tracer.record_wait(rx_trace, self.name, "socket_queue",
+                                       "queue", enqueued_at, waited)
+        else:
+            tracer = self.ctx.accounting.tracer
+            if tracer is not None and tracer.requests is not None:
+                # Selective mode: this datagram is untraced — clear any
+                # stale context so the copyout is not misattributed.
+                adopt_trace(self.ctx.sim, None)
         if self.shared_buffers:
             yield self.ctx.charge(Layer.COPYOUT_EXIT, self.ctx.params.proc_call)
         else:
@@ -617,6 +650,9 @@ class NetworkStack:
         """Transmit everything the TCP machine queued (charging the
         tcp_output layer costs)."""
         self._arm(session)
+        tid = current_trace(self.ctx.sim)
+        if tid is not None:
+            session.last_tx_trace = tid
         conn = session.conn
         while conn.has_output():
             for seg in conn.take_output():
@@ -709,6 +745,7 @@ class NetworkStack:
         if not was_listener:
             self._arm(session)
         session.last_rx_trace = current_trace(self.ctx.sim)
+        session.last_rx_time = self.ctx.sim.now
         conn.segment_arrives(seg, src_ip=header.src)
         if was_listener and conn.state == TCPState.SYN_RECEIVED:
             self._register(session)
@@ -963,6 +1000,8 @@ class NetworkStack:
                     m.sample()
             armed = self._armed
             sessions = list(self._tcp.values()) if armed is None else list(armed)
+            tracer = self.ctx.accounting.tracer
+            trace_rexmt = tracer is not None and tracer.enabled
             for session in sessions:
                 conn = session.conn
                 if conn.state == TCPState.CLOSED:
@@ -973,7 +1012,24 @@ class NetworkStack:
                     continue
                 conn.tick_fast()
                 if slow:
-                    conn.tick_slow()
+                    if trace_rexmt and session.last_tx_trace is not None:
+                        # Observe an RTO episode: if this slow tick fires
+                        # the retransmit timer, the interval the sender
+                        # just sat out (approximated by the pre-backoff
+                        # RTO) is loss-recovery time on the last traced
+                        # outbound segment's request.  Pure observation —
+                        # tick_slow runs identically either way.
+                        before = conn.stats.retransmits
+                        rto_us = conn.rtt.rto_ticks() * SLOW_TICK_US
+                        conn.tick_slow()
+                        if conn.stats.retransmits > before:
+                            now = self.ctx.sim.now
+                            tracer.record_wait(
+                                session.last_tx_trace, self.name,
+                                "tcp_rexmt", "loss-recovery",
+                                now - rto_us, rto_us)
+                    else:
+                        conn.tick_slow()
                 if conn.has_output():
                     yield from self._tcp_drain(session)
                     yield from self._wake(session.notify, session.selected)

@@ -17,14 +17,19 @@ from repro.trace.recorder import (
     TaggedFrame,
     TraceMeta,
     TraceRecorder,
+    WaitSpan,
     frame_trace,
 )
+from repro.trace.request import RequestRecord, RequestTracer
 
 __all__ = [
+    "RequestRecord",
+    "RequestTracer",
     "Span",
     "TaggedFrame",
     "TraceMeta",
     "TraceRecorder",
+    "WaitSpan",
     "adopt_trace",
     "begin_send_trace",
     "chrome_trace",

@@ -27,6 +27,20 @@ Attribution rides on the process: :meth:`TraceRecorder.begin` and
 process (``sim.current.trace_ctx``), and the CPU's accounting callback —
 which always runs inside the charging process's generator frame — reads
 it back at :meth:`~TraceRecorder.record` time.
+
+Two extensions serve the tail-forensics layer (:mod:`repro.trace.request`):
+
+* **Wait spans.**  :meth:`~TraceRecorder.record_wait` records intervals a
+  packet spent *not* running — queue waits, CPU contention, loss-recovery
+  stalls, control-plane round trips — in a second ring
+  (:attr:`~TraceRecorder.waits`).  They never enter :meth:`fold`, so the
+  fold-vs-ledger crosscheck invariant is untouched.
+* **Selective (request-gated) mode.**  With a
+  :class:`~repro.trace.request.RequestTracer` attached (see
+  :meth:`attach_requests`), :meth:`begin` only starts traces for work the
+  request tracer claims (sampled request ids and their downstream
+  processing), and spans carrying no trace id are dropped instead of
+  recorded — which is what makes tracing a 500-host tail study affordable.
 """
 
 from collections import OrderedDict, deque
@@ -73,6 +87,37 @@ class TraceMeta:
             self.trace_id, self.kind, self.host, self.start, self.size)
 
 
+class WaitSpan:
+    """An interval a traced packet spent waiting rather than running.
+
+    ``kind`` names the cause: ``"queue"`` (NIC ring or socket queue),
+    ``"contention"`` (blocked on the CPU's priority lock),
+    ``"loss-recovery"`` (a TCP retransmit/RTO episode), or
+    ``"control-plane"`` (a resilient RPC round trip).  Wait spans live in
+    their own ring and never participate in :meth:`TraceRecorder.fold`.
+    """
+
+    __slots__ = ("trace_id", "owner", "layer", "kind", "start", "cost")
+
+    def __init__(self, trace_id, owner, layer, kind, start, cost):
+        self.trace_id = trace_id
+        self.owner = owner
+        self.layer = layer
+        self.kind = kind
+        self.start = start
+        self.cost = cost
+
+    @property
+    def end(self):
+        return self.start + self.cost
+
+    def __repr__(self):
+        return ("WaitSpan(trace=%r, owner=%r, layer=%r, kind=%r, "
+                "start=%.3f, cost=%.3f)" % (
+                    self.trace_id, self.owner, self.layer, self.kind,
+                    self.start, self.cost))
+
+
 class TaggedFrame(bytes):
     """A wire frame carrying its packet's trace id.
 
@@ -112,10 +157,18 @@ class TraceRecorder:
         self.max_traces = max_traces
         self.enabled = False
         self.spans = deque(maxlen=capacity)
+        self.waits = deque(maxlen=capacity)
         self._meta = OrderedDict()   # trace_id -> TraceMeta (bounded)
         self._next_id = 1
         self.spans_recorded = 0
+        self.waits_recorded = 0
+        self.spans_cleared = 0
+        self.waits_cleared = 0
         self.traces_started = 0
+        #: The attached :class:`~repro.trace.request.RequestTracer`, or
+        #: None.  When set the recorder is *selective*: traces begin only
+        #: for sampled requests, and untraced spans are dropped.
+        self.requests = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -126,6 +179,7 @@ class TraceRecorder:
         if capacity is not None:
             self.capacity = capacity
             self.spans = deque(self.spans, maxlen=capacity)
+            self.waits = deque(self.waits, maxlen=capacity)
         if max_traces is not None:
             self.max_traces = max_traces
         self.enabled = True
@@ -133,6 +187,12 @@ class TraceRecorder:
 
     def disable(self):
         self.enabled = False
+        return self
+
+    def attach_requests(self, request_tracer):
+        """Enter selective mode: route new traces through a
+        :class:`~repro.trace.request.RequestTracer` (or None to leave)."""
+        self.requests = request_tracer
         return self
 
     def clear(self):
@@ -143,13 +203,28 @@ class TraceRecorder:
         Benchmarks call this after warm-up so the ring holds only the
         measured interval.
         """
+        self.spans_cleared += len(self.spans)
+        self.waits_cleared += len(self.waits)
         self.spans.clear()
+        self.waits.clear()
         self._meta.clear()
 
     @property
     def spans_evicted(self):
-        """How many spans the bounded ring has dropped so far."""
-        return self.spans_recorded - len(self.spans)
+        """How many spans the bounded ring has *overwritten* so far
+        (explicitly :meth:`clear`\\ ed spans do not count)."""
+        return self.spans_recorded - self.spans_cleared - len(self.spans)
+
+    @property
+    def waits_evicted(self):
+        """How many wait spans the bounded ring has overwritten so far."""
+        return self.waits_recorded - self.waits_cleared - len(self.waits)
+
+    @property
+    def lossy(self):
+        """True when either ring has overwritten data — a fold or
+        attribution over this recorder is incomplete."""
+        return self.spans_evicted > 0 or self.waits_evicted > 0
 
     # ------------------------------------------------------------------
     # Trace context (process-local)
@@ -160,9 +235,20 @@ class TraceRecorder:
 
         Returns the new trace id, or None when tracing is disabled (in
         which case nothing is attached and nothing is recorded).
+
+        In selective mode the attached request tracer decides: work that
+        does not belong to a sampled request gets no trace, and any
+        stale trace context on the running process is cleared so later
+        spans cannot be misattributed to a previous request.
         """
         if not self.enabled:
             return None
+        rt = self.requests
+        if rt is not None:
+            req_id = rt.route(self._sim.current)
+            if req_id is None:
+                self.adopt(None)
+                return None
         trace_id = self._next_id
         self._next_id += 1
         self.traces_started += 1
@@ -171,6 +257,8 @@ class TraceRecorder:
         while len(self._meta) > self.max_traces:
             self._meta.popitem(last=False)
         self.adopt(trace_id)
+        if rt is not None:
+            rt.bind(trace_id, req_id)
         return trace_id
 
     def adopt(self, trace_id):
@@ -196,14 +284,35 @@ class TraceRecorder:
         the span's start tick is ``now - cost``.  The span is attributed
         to whatever trace the charging process carries (None for
         untraced work such as timers — those spans still count toward
-        the fold, keeping the totals exact).
+        the fold, keeping the totals exact).  In selective mode
+        untraced spans are dropped instead: the fold-vs-ledger
+        invariant is deliberately traded for affordability, which is
+        why :func:`repro.analysis.tracing.crosscheck` is never run over
+        a selective recorder.
         """
         if not self.enabled:
             return
-        span = Span(self.current(), owner, layer,
+        trace_id = self.current()
+        if trace_id is None and self.requests is not None:
+            return
+        span = Span(trace_id, owner, layer,
                     self._sim.now - cost, cost)
         self.spans.append(span)
         self.spans_recorded += 1
+
+    def record_wait(self, trace_id, owner, layer, kind, start, cost):
+        """Record an interval a traced packet spent waiting.
+
+        Unlike :meth:`record` this is explicit about the trace id — the
+        waiter is usually *not* the running process (a frame parked in
+        a NIC ring, a connection awaiting an RTO).  Untagged waits are
+        never recorded: a wait only matters to a critical path.
+        """
+        if not self.enabled or trace_id is None:
+            return
+        self.waits.append(WaitSpan(trace_id, owner, layer, kind,
+                                   start, cost))
+        self.waits_recorded += 1
 
     # ------------------------------------------------------------------
     # Queries

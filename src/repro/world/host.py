@@ -48,6 +48,7 @@ class Host:
         self.metrics = metrics
         self.cpu = CPU(sim, platform, name="%s.cpu" % name)
         self.nic = NIC(sim, wire, self.mac, model=nic_model, name="%s.nic" % name)
+        self.nic.tracer = tracer
         self.kernel = Kernel(
             sim, self.cpu, self.nic,
             integrated_filter=integrated_filter,

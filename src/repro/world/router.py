@@ -41,6 +41,7 @@ class RouterInterface:
     def _input_loop(self):
         while True:
             frame = yield from self.nic.rx_ring.get()
+            self.nic.rx_pop_time()  # keep the timestamp deque aligned
             self.nic.rx_release()
             yield from self.router._input(self, frame)
 

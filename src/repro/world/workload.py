@@ -198,12 +198,16 @@ class _Tracker:
         self.pending.clear()
 
 
-def run_workload(world, spec):
+def run_workload(world, spec, request_tracer=None):
     """Run ``spec`` on ``world``; returns a :class:`WorkloadResult`.
 
     Servers run on every host; clients on the first ``spec.clients``
     hosts (all hosts when 0).  The call blocks until the window plus the
     drain period has elapsed and every client has wound down.
+
+    ``request_tracer`` (a :class:`~repro.trace.request.RequestTracer`)
+    observes the same send/reply edges the tracker sees — sampled
+    requests get request-scoped traces; everything else is untouched.
     """
     if spec.proto not in ("udp", "tcp"):
         raise ValueError("proto must be 'udp' or 'tcp'")
@@ -212,6 +216,7 @@ def run_workload(world, spec):
     result = WorkloadResult(window_us=spec.window_us)
     start = sim.now + 1000.0  # one quiet millisecond to finish spawning
     end = start + spec.window_us + spec.drain_us
+    rt = request_tracer
 
     if spec.proto == "udp":
         for host_index in range(len(world.hosts)):
@@ -220,7 +225,8 @@ def run_workload(world, spec):
                       name="wl-srv-%d" % host_index)
         clients = [
             _udp_client(world.new_app(client), sim, spec,
-                        schedules[client], world, start, end, result)
+                        schedules[client], world, start, end, result,
+                        rt=rt)
             for client in sorted(schedules)
         ]
     else:
@@ -234,7 +240,7 @@ def run_workload(world, spec):
         clients = [
             _tcp_client(world.placements[client], sim, spec,
                         schedules[client], world, start, end, result,
-                        listening)
+                        listening, rt=rt)
             for client in sorted(schedules)
         ]
     world.run_all(clients, until=end + 60_000_000.0)
@@ -259,7 +265,8 @@ def _udp_server(api, sim, spec, end):
     yield from api.close(fd)
 
 
-def _udp_client(api, sim, spec, schedule, world, start, end, result):
+def _udp_client(api, sim, spec, schedule, world, start, end, result,
+                rt=None):
     fd = yield from api.socket(SOCK_DGRAM)
     yield from api.bind(fd, spec.port + 1)
     tracker = _Tracker(sim, result)
@@ -274,7 +281,10 @@ def _udp_client(api, sim, spec, schedule, world, start, end, result):
             except SocketError:
                 return  # fd closed by the sender at wind-down
             if len(data) >= HEADER_BYTES:
-                tracker.reply(_HEADER.unpack_from(data)[0])
+                req_id = _HEADER.unpack_from(data)[0]
+                tracker.reply(req_id)
+                if rt is not None:
+                    rt.observe_reply(req_id)
 
     dispatch_proc = sim.spawn(dispatcher(), name="wl-dispatch")
     for t, req_id, targets, req_bytes, reply_bytes in schedule:
@@ -282,10 +292,14 @@ def _udp_client(api, sim, spec, schedule, world, start, end, result):
         if when > sim.now:
             yield sim.timeout(when - sim.now)
         tracker.sent(req_id, len(targets))
+        if rt is not None:
+            rt.observe_sent(req_id, len(targets))
         frame = _frame(req_id, reply_bytes, req_bytes)
         for target in targets:
             yield from api.sendto(
                 fd, frame, (world.hosts[target].ip, spec.port))
+        if rt is not None:
+            rt.end_send()
     if end > sim.now:
         yield sim.timeout(end - sim.now)
     yield dispatch_proc
@@ -333,7 +347,7 @@ def _tcp_server(api, sim, spec, ready, end):
 
 
 def _tcp_client(placement, sim, spec, schedule, world, start, end, result,
-                listening):
+                listening, rt=None):
     # Persistent connections to the fixed union of this client's targets.
     targets = sorted({t for _t, _id, tgts, _rq, _rp in schedule
                       for t in tgts})
@@ -361,6 +375,8 @@ def _tcp_client(placement, sim, spec, schedule, world, start, end, result,
                     break
                 buf = buf[size:]
                 tracker.reply(req_id)
+                if rt is not None:
+                    rt.observe_reply(req_id)
 
     for target in targets:
         yield listening[target]
@@ -374,9 +390,13 @@ def _tcp_client(placement, sim, spec, schedule, world, start, end, result,
         if when > sim.now:
             yield sim.timeout(when - sim.now)
         tracker.sent(req_id, len(tgts))
+        if rt is not None:
+            rt.observe_sent(req_id, len(tgts))
         frame = _frame(req_id, reply_bytes, req_bytes)
         for target in tgts:
             yield from api.send_all(fds[target], frame)
+        if rt is not None:
+            rt.end_send()
     if end > sim.now:
         yield sim.timeout(end - sim.now)
     for proc in readers:
