@@ -9,6 +9,8 @@ Subcommands::
                                   # time series + telemetry summary
     python -m repro forensics     # render a tailstudy --forensics
                                   # document: attribution + exemplars
+    python -m repro profile X     # run bench harness X under cProfile,
+                                  # print the top-N cumulative table
 
 ``netstat`` and ``probe`` build a small canned world, run a workload,
 and pretty-print what the observability layers saw.  ``probe`` can also
@@ -178,6 +180,58 @@ def cmd_probe(args):
     return 0
 
 
+def cmd_profile(args):
+    """Run a named bench harness (or the WAN tail cell) under cProfile."""
+    import cProfile
+    import pstats
+
+    from repro.analysis import bench_json, bench_wallclock
+    from repro.stack import dispatch
+
+    def tail_cell():
+        from repro.analysis import tailstudy
+
+        tailstudy.run_cell(bench_wallclock.PARALLEL_TOPOLOGY,
+                           bench_wallclock.PARALLEL_WORKLOAD,
+                           "mach25", bench_wallclock.PARALLEL_LOAD)
+
+    targets = {name: harness
+               for name, (_message, harness) in bench_json.HARNESSES.items()}
+    targets["tailcell"] = tail_cell
+    if args.harness not in targets:
+        print("profile: unknown harness %r (choose from: %s)"
+              % (args.harness, ", ".join(sorted(targets))), file=sys.stderr)
+        return 2
+
+    harness = targets[args.harness]
+    previous = dispatch.set_train_dispatch(not args.legacy)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        harness()
+        profiler.disable()
+    finally:
+        dispatch.set_train_dispatch(previous)
+
+    stats = pstats.Stats(profiler)
+    total_calls = stats.total_calls
+    rows = sorted(stats.stats.items(), key=lambda kv: kv[1][3], reverse=True)
+    mode = "legacy" if args.legacy else "batched"
+    print("### cProfile — %s (%s dispatch, %s total calls)"
+          % (args.harness, mode, "{:,}".format(total_calls)))
+    print()
+    print("| ncalls | tottime s | cumtime s | function |")
+    print("|---|---|---|---|")
+    for (filename, lineno, name), value in rows[:args.top]:
+        cc, nc, tt, ct, _callers = value
+        where = ("%s:%d:%s" % (filename.rpartition("/")[2], lineno, name)
+                 if lineno else name)
+        ncalls = "{:,}".format(nc) if nc == cc \
+            else "{:,}/{:,}".format(nc, cc)
+        print("| %s | %.3f | %.3f | `%s` |" % (ncalls, tt, ct, where))
+    return 0
+
+
 def cmd_forensics(args):
     import json
 
@@ -281,6 +335,18 @@ def main(argv=None):
                          help="print only a markdown summary table "
                               "(for CI step summaries)")
 
+    p_profile = sub.add_parser(
+        "profile", help="run a bench harness under cProfile; top-N table")
+    p_profile.add_argument("harness", metavar="HARNESS",
+                           help="a bench harness name (see "
+                                "repro.analysis.bench_json) or 'tailcell' "
+                                "for the seeded 2-site WAN tail-study cell")
+    p_profile.add_argument("--top", type=int, default=20,
+                           help="rows in the table (default %(default)s)")
+    p_profile.add_argument("--legacy", action="store_true",
+                           help="profile with packet-train dispatch off "
+                                "(REPRO_TRAIN_DISPATCH=0 semantics)")
+
     p_forensics = sub.add_parser(
         "forensics", help="render a tailstudy --forensics document")
     p_forensics.add_argument("json", metavar="TAILSTUDY_JSON",
@@ -303,6 +369,8 @@ def main(argv=None):
         return cmd_netstat(args)
     if args.command == "probe":
         return cmd_probe(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "forensics":
         return cmd_forensics(args)
     return cmd_demo(args)

@@ -75,6 +75,73 @@ def _table2_entry(row):
     }
 
 
+def _h_table1():
+    return {"table1_proxy_rpcs": run_proxy_calls()}
+
+
+def _h_table2_decstation():
+    rows = run_table2(DECSTATION_ROWS, platform="decstation",
+                      total_bytes=1024 * 1024, rounds=40,
+                      tcp_sizes=(1, 1460), udp_sizes=(1, 1472))
+    return {"table2_decstation": {r.key: _table2_entry(r) for r in rows}}
+
+
+def _h_table2_gateway():
+    rows = run_table2(GATEWAY_ROWS, platform="gateway",
+                      total_bytes=512 * 1024, rounds=20,
+                      tcp_sizes=(1,), udp_sizes=(1,))
+    return {"table2_gateway": {r.key: _table2_entry(r) for r in rows}}
+
+
+def _h_table3_newapi():
+    rows = run_table2(NEWAPI_KEYS, platform="decstation",
+                      total_bytes=1024 * 1024, rounds=20,
+                      tcp_sizes=(1460,), udp_sizes=(1472,))
+    return {"table3_newapi": {r.key: _table2_entry(r) for r in rows}}
+
+
+def _h_table4():
+    table4 = {}
+    trace_stats = {"spans": 0, "traces": 0}
+    for key in TABLE4_SYSTEMS:
+        per_size = {}
+        for size in TABLE4_SIZES:
+            result = run_traced_breakdown(key, "udp", size, rounds=100)
+            per_size[str(size)] = {
+                layer: result.breakdown[layer]
+                for layer in Layer.SEND_PATH + Layer.RECEIVE_PATH
+            }
+            per_size[str(size)]["send_path_total"] = (
+                result.breakdown["send path total"])
+            per_size[str(size)]["receive_path_total"] = (
+                result.breakdown["receive path total"])
+            per_size[str(size)]["rtt"] = _latency_entry(result.rtt)
+            trace_stats["spans"] += result.spans
+            trace_stats["traces"] += result.traces
+        table4[key] = per_size
+    return {"table4_udp_us": table4, "trace_volume": trace_stats}
+
+
+def _h_figure1():
+    return {"figure1": {key: run_crossings(key) for key in FIGURE1_SYSTEMS}}
+
+
+#: Named bench harnesses, in document order.  Each entry is
+#: (progress message, zero-argument callable returning the document
+#: keys it contributes).  Shared by :func:`collect`, the wall-clock
+#: tracker (:mod:`repro.analysis.bench_wallclock`), and the
+#: ``python -m repro profile`` CLI.
+HARNESSES = {
+    "table1_proxy_rpcs": ("table 1: proxy interface ...", _h_table1),
+    "table2_decstation": ("table 2: DECstation rows ...",
+                          _h_table2_decstation),
+    "table2_gateway": ("table 2: Gateway rows ...", _h_table2_gateway),
+    "table3_newapi": ("table 3: NEWAPI rows ...", _h_table3_newapi),
+    "table4_udp_us": ("table 4: trace-derived breakdowns ...", _h_table4),
+    "figure1": ("figure 1: crossing counts ...", _h_figure1),
+}
+
+
 def collect(log=None):
     """Run every harness; returns the BENCH document as a dict."""
     def say(msg):
@@ -95,57 +162,10 @@ def collect(log=None):
         harness_seconds[label] = round(now - mark, 3)
         mark = now
 
-    say("table 1: proxy interface ...")
-    doc["table1_proxy_rpcs"] = run_proxy_calls()
-    lap("table1_proxy_rpcs")
-
-    say("table 2: DECstation rows ...")
-    rows = run_table2(DECSTATION_ROWS, platform="decstation",
-                      total_bytes=1024 * 1024, rounds=40,
-                      tcp_sizes=(1, 1460), udp_sizes=(1, 1472))
-    doc["table2_decstation"] = {r.key: _table2_entry(r) for r in rows}
-    lap("table2_decstation")
-
-    say("table 2: Gateway rows ...")
-    rows = run_table2(GATEWAY_ROWS, platform="gateway",
-                      total_bytes=512 * 1024, rounds=20,
-                      tcp_sizes=(1,), udp_sizes=(1,))
-    doc["table2_gateway"] = {r.key: _table2_entry(r) for r in rows}
-    lap("table2_gateway")
-
-    say("table 3: NEWAPI rows ...")
-    rows = run_table2(NEWAPI_KEYS, platform="decstation",
-                      total_bytes=1024 * 1024, rounds=20,
-                      tcp_sizes=(1460,), udp_sizes=(1472,))
-    doc["table3_newapi"] = {r.key: _table2_entry(r) for r in rows}
-    lap("table3_newapi")
-
-    say("table 4: trace-derived breakdowns ...")
-    table4 = {}
-    trace_stats = {"spans": 0, "traces": 0}
-    for key in TABLE4_SYSTEMS:
-        per_size = {}
-        for size in TABLE4_SIZES:
-            result = run_traced_breakdown(key, "udp", size, rounds=100)
-            per_size[str(size)] = {
-                layer: result.breakdown[layer]
-                for layer in Layer.SEND_PATH + Layer.RECEIVE_PATH
-            }
-            per_size[str(size)]["send_path_total"] = (
-                result.breakdown["send path total"])
-            per_size[str(size)]["receive_path_total"] = (
-                result.breakdown["receive path total"])
-            per_size[str(size)]["rtt"] = _latency_entry(result.rtt)
-            trace_stats["spans"] += result.spans
-            trace_stats["traces"] += result.traces
-        table4[key] = per_size
-    doc["table4_udp_us"] = table4
-    doc["trace_volume"] = trace_stats
-    lap("table4_udp_us")
-
-    say("figure 1: crossing counts ...")
-    doc["figure1"] = {key: run_crossings(key) for key in FIGURE1_SYSTEMS}
-    lap("figure1")
+    for name, (message, harness) in HARNESSES.items():
+        say(message)
+        doc.update(harness())
+        lap(name)
 
     total = round(time.monotonic() - wall_start, 3)
     doc["wall_clock_seconds"] = total

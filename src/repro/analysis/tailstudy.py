@@ -34,8 +34,16 @@ import sys
 import time
 
 from repro.analysis.forensics import attribution_markdown, cell_forensics
+from math import fsum
+
 from repro.analysis.timeseries import percentiles
 from repro.hw.wire import frame_wire_bytes
+from repro.sim.parallel import (
+    harden_cut_wires,
+    parallel_note,
+    partition_world,
+    run_parallel_workload,
+)
 from repro.trace import RequestTracer
 from repro.world.configs import CONFIGS
 from repro.world.topology import (
@@ -66,15 +74,27 @@ def rate_for_load(load, spec_args):
 
 
 def run_cell(topology_args, workload_args, placement, load,
-             forensics=None):
+             forensics=None, parallel=0):
     """One (placement, load) cell: fresh world, one workload run.
 
     ``forensics`` (a dict of ``sample_every`` / ``capacity`` /
     ``exemplars``) turns on sampled request tracing for the run and
     adds a per-cell latency-attribution block to the result.
+
+    ``parallel`` >= 2 asks for the multi-process island backend
+    (:mod:`repro.sim.parallel`): the world is cut at router-to-router
+    links and each group of islands runs in its own worker process.
+    Results are bit-identical to the single-process run; worlds with no
+    extractable islands (e.g. a star), TCP workloads, and forensic runs
+    fall back to single-process with a note on stderr.  Every mode —
+    including plain single-process — runs the plan's cut wires full
+    duplex, so the two backends stay schedule-equivalent.
     """
+    cell_start = time.monotonic()
     tspec = TopologySpec(placement=placement, **topology_args)
     world = build_world(tspec)
+    plan = partition_world(world)
+    harden_cut_wires(world, plan)
     warm_arp(world)
     rt = None
     if forensics is not None:
@@ -85,7 +105,29 @@ def run_cell(topology_args, workload_args, placement, load,
     rate = rate_for_load(load, dict(workload_args,
                                     us_per_byte=tspec.us_per_byte))
     wspec = WorkloadSpec(rate_per_client=float(rate), **workload_args)
-    result = run_workload(world, wspec, request_tracer=rt)
+
+    outcome = None
+    if parallel and parallel >= 2:
+        if forensics is not None:
+            parallel_note("forensic tracing is single-process")
+        elif wspec.proto != "udp":
+            parallel_note("TCP start-up synchronizes in process")
+        elif not plan.parallelizable:
+            parallel_note("no islands to cut in this %s world"
+                          % tspec.kind)
+        else:
+            outcome = run_parallel_workload(
+                topology_args, placement, wspec, plan, parallel,
+                log=lambda m: print("tailstudy: %s" % m,
+                                    file=sys.stderr))
+            if outcome is None:
+                parallel_note("plan packs into a single worker")
+    if outcome is not None:
+        result, fingerprint, _nworkers = outcome
+    else:
+        result = run_workload(world, wspec, request_tracer=rt)
+        fingerprint = world.fingerprint()
+
     pcts = percentiles(result.latencies_us,
                        tuple(p for p, _name in PERCENTILES))
     samples = result.latencies_us
@@ -96,19 +138,48 @@ def run_cell(topology_args, workload_args, placement, load,
         "issued": result.issued,
         "completed": result.completed,
         "censored": result.censored,
-        "mean_us": (round(sum(samples) / len(samples), 3)
+        # fsum: correctly rounded regardless of summation order, so the
+        # mean is identical however the backends interleave completions.
+        "mean_us": (round(fsum(samples) / len(samples), 3)
                     if samples else None),
         "latency_us": {
             name: (None if pcts[p] is None else round(pcts[p], 3))
             for p, name in PERCENTILES
         },
-        "world_fingerprint": world.fingerprint(),
+        "world_fingerprint": fingerprint,
+        "wallclock_seconds": round(time.monotonic() - cell_start, 3),
     }
     if rt is not None:
         cell["forensics"] = cell_forensics(
             world.tracer, rt, p99_us=pcts[0.99],
             exemplar_cap=forensics["exemplars"])
     return cell
+
+
+def strip_volatile(document):
+    """A copy of a tailstudy document without wall-clock/backend keys.
+
+    The simulated results are deterministic and backend-independent;
+    wall clock and the requested worker count are not.  CI's
+    parallel-equivalence gate and the determinism tests compare
+    stripped documents.
+    """
+    doc = json.loads(json.dumps(document))
+    doc.pop("wallclock_seconds", None)
+    doc.pop("parallel", None)
+    for cell in doc.get("results", ()):
+        cell.pop("wallclock_seconds", None)
+    return doc
+
+
+def wallclock_table(results):
+    """Per-cell wall-clock markdown (volatile, for CI step summaries)."""
+    lines = ["| placement | load | wall clock (s) |", "|---|---|---|"]
+    for r in results:
+        lines.append("| %s | %.2f | %.3f |"
+                     % (r["placement"], r["load"],
+                        r.get("wallclock_seconds", 0.0)))
+    return "\n".join(lines)
 
 
 def markdown_table(results):
@@ -185,6 +256,11 @@ def main(argv=None):
     parser.add_argument("--spines", type=int, default=2)
     parser.add_argument("--sites", type=int, default=2)
     parser.add_argument("--router-speedup", type=float, default=8.0)
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="run each cell on the multi-process island "
+                             "backend with up to N workers (results are "
+                             "bit-identical to single-process; worlds "
+                             "with no cuttable links fall back)")
     parser.add_argument("-o", "--output", metavar="PATH", default=None,
                         help="write the JSON document here")
     parser.add_argument("--markdown", action="store_true",
@@ -226,6 +302,10 @@ def main(argv=None):
         print("tailstudy: --sample-every must be >= 1, got %d"
               % args.sample_every, file=sys.stderr)
         return 2
+    if args.parallel < 0:
+        print("tailstudy: --parallel must be >= 0, got %d"
+              % args.parallel, file=sys.stderr)
+        return 2
     forensics = None
     if args.forensics:
         forensics = {"sample_every": args.sample_every,
@@ -249,12 +329,13 @@ def main(argv=None):
     for placement in placements:
         for load in loads:
             cell = run_cell(topology_args, workload_args, placement, load,
-                            forensics=forensics)
+                            forensics=forensics, parallel=args.parallel)
             results.append(cell)
             print("tailstudy: %-14s load %.2f  issued %5d  completed %5d"
-                  "  p99 %s us"
+                  "  p99 %s us  (%.3f s)"
                   % (placement, load, cell["issued"], cell["completed"],
-                     cell["latency_us"]["p99"]), file=sys.stderr)
+                     cell["latency_us"]["p99"],
+                     cell["wallclock_seconds"]), file=sys.stderr)
 
     document = {
         "schema": SCHEMA,
@@ -270,6 +351,7 @@ def main(argv=None):
             },
         },
         "results": results,
+        "parallel": args.parallel,
         "wallclock_seconds": round(time.time() - started, 3),
     }
     if args.output:
@@ -278,6 +360,10 @@ def main(argv=None):
             fh.write("\n")
     if args.markdown:
         print(markdown_table(results))
+        print()
+        print("Per-cell wall clock (volatile):")
+        print()
+        print(wallclock_table(results))
         if forensics is not None:
             section = forensics_markdown(results)
             if section:

@@ -37,6 +37,11 @@ class Op(Enum):
     RET = "ret"
     RET_A = "ret_a"  # accept A bytes
 
+    # Members are singletons, so identity hashing is equivalent to
+    # Enum's Python-level __hash__ — validate() tests set membership
+    # per instruction.
+    __hash__ = object.__hash__
+
 
 #: Operations that read packet memory and may fault on short packets.
 MEMORY_OPS = frozenset(

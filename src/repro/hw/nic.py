@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.sim.sync import Channel
-from repro.trace import TaggedFrame, current_trace, frame_trace
+from repro.trace import TaggedFrame, frame_trace
 
 
 @dataclass(frozen=True)
@@ -91,17 +91,49 @@ class NIC:
         The frame inherits the sending process's packet-trace id (if any),
         so the trace follows the bytes through the wire to the receiver.
         """
-        trace_id = frame_trace(frame)
+        # frame_trace/current_trace/TaggedFrame.tag written out inline:
+        # this runs per frame and the helpers are one-liners.
+        trace_id = getattr(frame, "trace_id", None)
         if trace_id is None:
-            trace_id = current_trace(self._sim)
-        yield from self._tx_ring.put(TaggedFrame.tag(bytes(frame), trace_id))
+            proc = self._sim.current
+            trace_id = proc.trace_ctx if proc is not None else None
+        data = bytes(frame)
+        if trace_id is not None:
+            data = TaggedFrame(data)
+            data.trace_id = trace_id
+        yield from self._tx_ring.put(data)
         # Runs in the same synchronous continuation as the ring append
         # (wakeups are scheduled, never synchronous), so the timestamp
         # deque stays aligned with the ring.
-        self._tx_enq_us.append(self._sim.now)
+        self._tx_enq_us.append(self._sim._now)
         gauge = self.tx_depth_gauge
         if gauge is not None:
             gauge.record(len(self._tx_ring))
+
+    def transmit_fast(self, frame):
+        """Non-blocking :meth:`start_transmit`: plain call, no generator.
+
+        Returns False without side effects when the transmit ring is
+        full — the caller falls back to the blocking generator, which
+        re-tags an identical frame and queues behind the same ring.  A
+        ``put()`` on a non-full channel never touches the engine, so the
+        success path is schedule-identical to :meth:`start_transmit`.
+        """
+        trace_id = getattr(frame, "trace_id", None)
+        if trace_id is None:
+            proc = self._sim.current
+            trace_id = proc.trace_ctx if proc is not None else None
+        data = bytes(frame)
+        if trace_id is not None:
+            data = TaggedFrame(data)
+            data.trace_id = trace_id
+        if not self._tx_ring.try_put(data):
+            return False
+        self._tx_enq_us.append(self._sim._now)
+        gauge = self.tx_depth_gauge
+        if gauge is not None:
+            gauge.record(len(self._tx_ring))
+        return True
 
     def _transmitter(self):
         """Device process: drain the TX ring onto the wire, in order."""
@@ -142,7 +174,7 @@ class NIC:
             return
         self._rx_buffered += 1
         self.rx_ring.try_put(frame)
-        self._rx_enq_us.append(self._sim.now)
+        self._rx_enq_us.append(self._sim._now)
         self.frames_received += 1
         gauge = self.rx_depth_gauge
         if gauge is not None:

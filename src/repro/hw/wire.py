@@ -68,6 +68,24 @@ class EthernetWire:
         self.rng = rng
         self._nics = []
         self._medium = Lock(sim, name=name)
+        #: Full-duplex mode: each sender serializes on its own private
+        #: lock instead of the shared half-duplex medium, so the two
+        #: directions of a point-to-point link never contend.  The
+        #: island partitioner (:mod:`repro.sim.parallel`) switches
+        #: *cut* wires (point-to-point router-router links) to full
+        #: duplex in every run mode — single-process and parallel —
+        #: because cross-process senders cannot share a medium lock;
+        #: applying it uniformly keeps both modes schedule-identical.
+        #: Deliberately absent from the world description/fingerprint:
+        #: it is a backend execution property, not topology.
+        self.full_duplex = False
+        self._sender_locks = {}
+        #: Export hook for the multi-process island backend: when set,
+        #: ``capture(frame, sender, arrival_us)`` is called *instead of*
+        #: scheduling local delivery — the frame leaves this process and
+        #: is injected into the peer island's copy of the wire at
+        #: exactly ``arrival_us``.
+        self.capture = None
         self.frames_carried = 0
         self.bytes_carried = 0
         #: Cumulative serialization time (us): how long the shared medium
@@ -123,15 +141,29 @@ class EthernetWire:
         senders queue (a simplification of CSMA/CD that preserves the
         aggregate 10 Mb/s ceiling).
         """
-        serialization_us = frame_time(len(frame), self.us_per_byte)
-        yield from self._medium.acquire()
+        # frame_time()/frame_wire_bytes() written out inline — one call
+        # pair per frame carried.
+        frame_len = len(frame)
+        wire_bytes = frame_len + CRC_BYTES
+        if wire_bytes < MIN_FRAME:
+            wire_bytes = MIN_FRAME
+        serialization_us = wire_bytes * self.us_per_byte
+        if self.full_duplex:
+            medium = self._sender_locks.get(id(sender))
+            if medium is None:
+                medium = Lock(self._sim,
+                              name="%s:%s" % (self.name, sender))
+                self._sender_locks[id(sender)] = medium
+        else:
+            medium = self._medium
+        yield from medium.acquire()
         try:
             yield Timeout(serialization_us)
         finally:
-            self._medium.release()
+            medium.release()
         self.busy_time += serialization_us
         self.frames_carried += 1
-        self.bytes_carried += len(frame)
+        self.bytes_carried += frame_len
         if self.fault_plan is None:
             self._schedule_delivery(frame, sender, self.propagation_us, None)
             return
@@ -147,9 +179,20 @@ class EthernetWire:
                                     t.exclude or None)
 
     def _schedule_delivery(self, frame, sender, delay_us, exclude):
+        if self.capture is not None:
+            self.capture(frame, sender, self._sim.now + delay_us)
+            return
         if delay_us:
-            self._sim.call_later(delay_us, self._deliver, frame, sender,
-                                 exclude)
+            # call_later/call_at written out inline (same tuple, same
+            # seq draw — schedule-identical), one call pair per frame.
+            sim = self._sim
+            when = sim._now + delay_us
+            if when > sim._now:
+                sim._heappush(sim._queue, (when, next(sim._seq),
+                                           self._deliver,
+                                           (frame, sender, exclude)))
+            else:
+                sim._ready.append((self._deliver, (frame, sender, exclude)))
         else:
             self._deliver(frame, sender, exclude)
 

@@ -36,11 +36,22 @@ def _raw_sum(data):
 
 
 def internet_checksum(data, initial=0):
-    """RFC 1071 checksum of ``data``; ``initial`` folds in a pseudo-header sum."""
-    total = _raw_sum(data)
+    """RFC 1071 checksum of ``data``; ``initial`` folds in a pseudo-header sum.
+
+    ``_raw_sum`` and the end-around-carry folds are written out inline:
+    this runs once per segment in each direction, and the two helper
+    calls were pure interpreter overhead.
+    """
+    total = int.from_bytes(data, "big")
+    if len(data) & 1:
+        total <<= 8
+    if total:
+        total %= 0xFFFF
+        if not total:
+            total = 0xFFFF
     while initial >> 16:
         initial = (initial & 0xFFFF) + (initial >> 16)
-    total = ones_complement_add(total, initial)
+    total += initial
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -63,8 +74,14 @@ def pseudo_header_sum(src_ip, dst_ip, proto, length):
 
 def verify_checksum(data, initial=0):
     """True iff ``data`` (checksum field included) sums to the all-ones value."""
-    total = _raw_sum(data)
-    total = ones_complement_add(total, initial)
+    total = int.from_bytes(data, "big")
+    if len(data) & 1:
+        total <<= 8
+    if total:
+        total %= 0xFFFF
+        if not total:
+            total = 0xFFFF
+    total += initial
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return total == 0xFFFF

@@ -20,8 +20,10 @@ class EthernetHeader:
     __slots__ = ("dst", "src", "ethertype")
 
     def __init__(self, dst, src, ethertype):
-        self.dst = mac_aton(dst)
-        self.src = mac_aton(src)
+        # MACs arrive as 6-byte slices on the per-frame path; string
+        # forms only appear at configuration time.
+        self.dst = dst if dst.__class__ is bytes and len(dst) == 6 else mac_aton(dst)
+        self.src = src if src.__class__ is bytes and len(src) == 6 else mac_aton(src)
         self.ethertype = ethertype
 
     def pack(self):
@@ -29,10 +31,18 @@ class EthernetHeader:
 
     @classmethod
     def unpack(cls, frame):
+        # Per-frame path: slices of a bytes frame are already 6-byte
+        # ``bytes``, so skip ``__init__`` and store the slots directly.
+        if frame.__class__ is not bytes:
+            frame = bytes(frame)  # bytearray/TaggedFrame: slice as bytes
         if len(frame) < HEADER_LEN:
             raise ValueError("frame too short for Ethernet header: %d" % len(frame))
         (ethertype,) = _TYPE_STRUCT.unpack_from(frame, 12)
-        return cls(frame[0:6], frame[6:12], ethertype)
+        header = cls.__new__(cls)
+        header.dst = frame[0:6]
+        header.src = frame[6:12]
+        header.ethertype = ethertype
+        return header
 
     def __repr__(self):
         from repro.net.addr import mac_ntoa
@@ -45,12 +55,21 @@ class EthernetHeader:
 
 
 def encapsulate(dst_mac, src_mac, ethertype, payload):
-    """Build a full frame, padding the payload to the Ethernet minimum."""
-    if len(payload) > MTU:
-        raise ValueError("payload %d exceeds Ethernet MTU %d" % (len(payload), MTU))
-    if len(payload) < MIN_PAYLOAD:
-        payload = bytes(payload) + b"\x00" * (MIN_PAYLOAD - len(payload))
-    return EthernetHeader(dst_mac, src_mac, ethertype).pack() + bytes(payload)
+    """Build a full frame, padding the payload to the Ethernet minimum.
+
+    Header construction and packing are written out inline — this runs
+    once per transmitted frame.
+    """
+    n = len(payload)
+    if n > MTU:
+        raise ValueError("payload %d exceeds Ethernet MTU %d" % (n, MTU))
+    if n < MIN_PAYLOAD:
+        payload = bytes(payload) + b"\x00" * (MIN_PAYLOAD - n)
+    dst = dst_mac if dst_mac.__class__ is bytes and len(dst_mac) == 6 \
+        else mac_aton(dst_mac)
+    src = src_mac if src_mac.__class__ is bytes and len(src_mac) == 6 \
+        else mac_aton(src_mac)
+    return dst + src + _TYPE_STRUCT.pack(ethertype) + bytes(payload)
 
 
 def decapsulate(frame):

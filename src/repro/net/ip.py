@@ -3,7 +3,7 @@
 import struct
 
 from repro.net.addr import ip_ntoa
-from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.checksum import internet_checksum
 
 PROTO_ICMP = 1
 PROTO_TCP = 6
@@ -85,8 +85,12 @@ class IPHeader:
 
     @classmethod
     def unpack(cls, data, verify=True):
-        if len(data) < HEADER_LEN:
-            raise ValueError("IP packet too short: %d" % len(data))
+        # Runs once per received packet: the header is built with
+        # ``__new__`` + direct slot stores (skipping ``__init__``) and
+        # the checksum verification is written out inline.
+        size = len(data)
+        if size < HEADER_LEN:
+            raise ValueError("IP packet too short: %d" % size)
         vhl, tos, total_len, ident, flags_frag, ttl, proto, _cksum, src, dst = (
             _IP_STRUCT.unpack_from(data, 0)
         )
@@ -94,22 +98,32 @@ class IPHeader:
         header_len = (vhl & 0xF) * 4
         if version != 4:
             raise ValueError("not an IPv4 packet (version=%d)" % version)
-        if header_len < HEADER_LEN or header_len > len(data):
+        if header_len < HEADER_LEN or header_len > size:
             raise ValueError("bad IPv4 header length %d" % header_len)
-        if verify and not verify_checksum(data[:header_len]):
-            raise ValueError("bad IPv4 header checksum")
-        return cls(
-            src=src,
-            dst=dst,
-            proto=proto,
-            total_len=total_len,
-            ident=ident,
-            flags=flags_frag >> 13,
-            frag_off=(flags_frag & 0x1FFF) * 8,
-            ttl=ttl,
-            tos=tos,
-            header_len=header_len,
-        )
+        if verify:
+            total = int.from_bytes(data[:header_len], "big")
+            if header_len & 1:
+                total <<= 8
+            if total:
+                total %= 0xFFFF
+                if not total:
+                    total = 0xFFFF
+            while total >> 16:
+                total = (total & 0xFFFF) + (total >> 16)
+            if total != 0xFFFF:
+                raise ValueError("bad IPv4 header checksum")
+        header = cls.__new__(cls)
+        header.src = src
+        header.dst = dst
+        header.proto = proto
+        header.total_len = total_len
+        header.ident = ident
+        header.flags = flags_frag >> 13
+        header.frag_off = (flags_frag & 0x1FFF) * 8
+        header.ttl = ttl
+        header.tos = tos
+        header.header_len = header_len
+        return header
 
     @property
     def more_fragments(self):
@@ -150,7 +164,10 @@ def encapsulate(src, dst, proto, payload, ident=0, ttl=DEFAULT_TTL, flags=0,
 def decapsulate(packet, verify=True):
     """Split an IP packet into (header, payload), honouring total_len."""
     header = IPHeader.unpack(packet, verify=verify)
-    end = min(len(packet), header.total_len)
+    end = len(packet)
+    total_len = header.total_len
+    if total_len < end:
+        end = total_len
     return header, bytes(packet[header.header_len : end])
 
 

@@ -27,7 +27,8 @@ class CongestionControl:
 
     def window(self, snd_wnd):
         """The usable send window: min(peer window, cwnd)."""
-        return min(snd_wnd, self.cwnd)
+        cwnd = self.cwnd
+        return snd_wnd if snd_wnd < cwnd else cwnd
 
     def in_slow_start(self):
         return self.cwnd < self.ssthresh

@@ -158,6 +158,11 @@ class TCPConnection:
         self.delack_pending = False
 
         self.peer_mss = MSS_ETHERNET
+        #: Cached min(config.mss, peer_mss); maintained whenever
+        #: peer_mss changes (handshake, migration) so per-segment code
+        #: reads an attribute instead of calling effective_mss().
+        self.eff_mss = (self.config.mss if self.config.mss < MSS_ETHERNET
+                        else MSS_ETHERNET)
         self.error = None  # a TCPError subclass instance once dead
         self.stats = TCPStats()
         self._outbox = []
@@ -190,7 +195,7 @@ class TCPConnection:
         return max(0, seq_diff(self.snd_nxt, self.snd_una))
 
     def effective_mss(self):
-        return min(self.config.mss, self.peer_mss)
+        return self.eff_mss
 
     def buffer_levels(self):
         """Socket-buffer occupancy for telemetry (read-only)."""
@@ -470,6 +475,8 @@ class TCPConnection:
             raise TCPError("import into non-CLOSED connection")
         for name in self._MIGRATED_FIELDS:
             setattr(self, name, state[name])
+        mss = self.config.mss
+        self.eff_mss = mss if mss < self.peer_mss else self.peer_mss
         self.state = TCPState(state["state"])
         self.local = state["local"]
         self.remote = state["remote"]
@@ -484,6 +491,7 @@ class TCPConnection:
         self.reass._segments = [
             [seq, bytearray(data)] for seq, data in state["reass"]
         ]
+        self.reass.used = sum(len(data) for _seq, data in state["reass"])
 
     def __repr__(self):
         return "<TCPConnection %s %s:%d %s>" % (

@@ -2,7 +2,7 @@
 
 import struct
 
-from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+from repro.net.checksum import internet_checksum
 from repro.net.ip import PROTO_TCP
 
 HEADER_LEN = 20
@@ -65,13 +65,24 @@ class TCPSegment:
         return options
 
     def pack(self, src_ip, dst_ip):
-        """Serialize with a valid pseudo-header checksum."""
-        options = self._options()
-        if len(options) % 4:
-            options += bytes(4 - len(options) % 4)
-        data_off = (HEADER_LEN + len(options)) // 4
+        """Serialize with a valid pseudo-header checksum.
+
+        The option-free shape (every data segment) takes a fast path,
+        and the pseudo-header sum is computed inline — this runs once
+        per transmitted segment.
+        """
         payload = self.payload
-        length = HEADER_LEN + len(options) + len(payload)
+        if self.mss_option is None and self.wscale_option is None:
+            options = b""
+            opt_len = 0
+            length = HEADER_LEN + len(payload)
+        else:
+            options = self._options()
+            opt_len = len(options)
+            if opt_len % 4:
+                options += bytes(4 - opt_len % 4)
+                opt_len = len(options)
+            length = HEADER_LEN + opt_len + len(payload)
         segment = bytearray(length)
         _TCP_STRUCT.pack_into(
             segment,
@@ -80,15 +91,22 @@ class TCPSegment:
             self.dst_port,
             self.seq,
             self.ack,
-            data_off << 4,
+            ((HEADER_LEN + opt_len) // 4) << 4,
             self.flags,
             self.window,
             0,
             self.urgent,
         )
-        segment[HEADER_LEN : HEADER_LEN + len(options)] = options
-        segment[HEADER_LEN + len(options) :] = payload
-        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, length)
+        if opt_len:
+            segment[HEADER_LEN : HEADER_LEN + opt_len] = options
+        segment[HEADER_LEN + opt_len :] = payload
+        pseudo = (
+            (src_ip >> 16) + (src_ip & 0xFFFF)
+            + (dst_ip >> 16) + (dst_ip & 0xFFFF)
+            + PROTO_TCP + length
+        )
+        while pseudo >> 16:
+            pseudo = (pseudo & 0xFFFF) + (pseudo >> 16)
         checksum = internet_checksum(segment, initial=pseudo)
         segment[16] = checksum >> 8
         segment[17] = checksum & 0xFF
@@ -96,31 +114,54 @@ class TCPSegment:
 
     @classmethod
     def unpack(cls, src_ip, dst_ip, data, verify=True):
-        """Parse and (optionally) checksum-verify a segment."""
-        if len(data) < HEADER_LEN:
-            raise ValueError("TCP segment too short: %d" % len(data))
+        """Parse and (optionally) checksum-verify a segment.
+
+        Runs once per received segment: the pseudo-header sum and the
+        checksum fold are computed inline, option parsing is skipped
+        for the 20-byte option-free header, and the segment is built
+        with ``__new__`` + direct slot stores.
+        """
+        size = len(data)
+        if size < HEADER_LEN:
+            raise ValueError("TCP segment too short: %d" % size)
         (src_port, dst_port, seq, ack, off_byte, flags, window, _cksum,
          urgent) = _TCP_STRUCT.unpack_from(data, 0)
         header_len = (off_byte >> 4) * 4
-        if header_len < HEADER_LEN or header_len > len(data):
+        if header_len < HEADER_LEN or header_len > size:
             raise ValueError("bad TCP data offset: %d" % header_len)
         if verify:
-            pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len(data))
-            if not verify_checksum(data, initial=pseudo):
+            total = int.from_bytes(data, "big")
+            if size & 1:
+                total <<= 8
+            if total:
+                total %= 0xFFFF
+                if not total:
+                    total = 0xFFFF
+            total += (
+                (src_ip >> 16) + (src_ip & 0xFFFF)
+                + (dst_ip >> 16) + (dst_ip & 0xFFFF)
+                + PROTO_TCP + size
+            )
+            while total >> 16:
+                total = (total & 0xFFFF) + (total >> 16)
+            if total != 0xFFFF:
                 raise ValueError("bad TCP checksum")
-        mss, wscale = cls._parse_options(data[HEADER_LEN:header_len])
-        return cls(
-            src_port,
-            dst_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            window=window,
-            urgent=urgent,
-            mss_option=mss,
-            wscale_option=wscale,
-            payload=bytes(data[header_len:]),
-        )
+        if header_len > HEADER_LEN:
+            mss, wscale = cls._parse_options(data[HEADER_LEN:header_len])
+        else:
+            mss = wscale = None
+        seg = cls.__new__(cls)
+        seg.src_port = src_port
+        seg.dst_port = dst_port
+        seg.seq = seq
+        seg.ack = ack
+        seg.flags = flags
+        seg.window = window
+        seg.urgent = urgent
+        seg.mss_option = mss
+        seg.wscale_option = wscale
+        seg.payload = bytes(data[header_len:])
+        return seg
 
     @staticmethod
     def _parse_options(options):

@@ -9,9 +9,9 @@ transitions.  Called via :meth:`TCPConnection.segment_arrives`.
 from repro.net.tcp import output as tcp_output
 from repro.net.tcp.header import ACK, FIN, RST, SYN, URG
 from repro.net.tcp.seq import (
+    MOD,
+    _HALF,
     seq_add,
-    seq_diff,
-    seq_ge,
     seq_gt,
     seq_le,
     seq_lt,
@@ -64,6 +64,8 @@ def _listen_input(conn, seg, src_ip):
     conn.rcv_adv = conn.rcv_nxt
     if seg.mss_option:
         conn.peer_mss = seg.mss_option
+        mss = conn.config.mss
+        conn.eff_mss = mss if mss < seg.mss_option else seg.mss_option
     _negotiate_wscale(conn, seg)
     conn.iss = _next_iss()
     conn.snd_una = conn.iss
@@ -105,6 +107,8 @@ def _syn_sent_input(conn, seg):
     conn.rcv_adv = conn.rcv_nxt
     if seg.mss_option:
         conn.peer_mss = seg.mss_option
+        mss = conn.config.mss
+        conn.eff_mss = mss if mss < seg.mss_option else seg.mss_option
     _negotiate_wscale(conn, seg)
     conn.snd_wnd = seg.window  # SYN windows are never scaled (RFC 1323)
     conn.snd_wl1 = seg.seq
@@ -185,25 +189,30 @@ def _synchronized_input(conn, seg):
 
 
 def _acceptable(conn, seg, rcv_wnd):
-    """RFC 793 acceptability test (four cases)."""
+    """RFC 793 acceptability test (four cases).
+
+    The seq_le/seq_lt/seq_add helpers are written out inline (see
+    :mod:`repro.net.tcp.seq`) — this runs once per received segment.
+    """
     seg_len = seg.wire_len
+    rcv_nxt = conn.rcv_nxt
+    seq = seg.seq
     if seg_len == 0 and rcv_wnd == 0:
-        return seg.seq == conn.rcv_nxt
+        return seq == rcv_nxt
     if seg_len == 0:
-        return seq_le(conn.rcv_nxt, seg.seq) and seq_lt(
-            seg.seq, seq_add(conn.rcv_nxt, rcv_wnd)
-        )
+        d = (rcv_nxt - seq) % MOD
+        return ((d == 0 or d >= _HALF)
+                and (seq - (rcv_nxt + rcv_wnd)) % MOD >= _HALF)
     if rcv_wnd == 0:
         # Still accept pure ACK information carried with data we must drop.
-        return seg.seq == conn.rcv_nxt and not seg.payload
-    first_ok = seq_le(conn.rcv_nxt, seg.seq) and seq_lt(
-        seg.seq, seq_add(conn.rcv_nxt, rcv_wnd)
-    )
-    last = seq_add(seg.seq, seg_len - 1)
-    last_ok = seq_le(conn.rcv_nxt, last) and seq_lt(
-        last, seq_add(conn.rcv_nxt, rcv_wnd)
-    )
-    return first_ok or last_ok
+        return seq == rcv_nxt and not seg.payload
+    edge = rcv_nxt + rcv_wnd
+    d = (rcv_nxt - seq) % MOD
+    if (d == 0 or d >= _HALF) and (seq - edge) % MOD >= _HALF:
+        return True
+    last = (seq + seg_len - 1) % MOD
+    d = (rcv_nxt - last) % MOD
+    return (d == 0 or d >= _HALF) and (last - edge) % MOD >= _HALF
 
 
 def _trim_to_window(conn, seg, rcv_wnd):
@@ -211,23 +220,30 @@ def _trim_to_window(conn, seg, rcv_wnd):
     payload = seg.payload
     seq = seg.seq
     # Front trim (old data; also swallows a retransmitted FIN's SYN bit).
-    behind = seq_diff(conn.rcv_nxt, seq)
+    # seq_diff/seq_add written out inline: once per received segment.
+    behind = (conn.rcv_nxt - seq) % MOD
+    if behind >= _HALF:
+        behind -= MOD
     if behind > 0:
         if seg.flags & SYN:
             seg.flags &= ~SYN
-            seq = seq_add(seq, 1)
+            seq = (seq + 1) % MOD
             behind -= 1
-        drop = min(behind, len(payload))
+        n = len(payload)
+        drop = behind if behind < n else n
         payload = payload[drop:]
-        seq = seq_add(seq, drop)
+        seq = (seq + drop) % MOD
         if behind > drop:
             # The FIN (if any) is also old news.
             seg.flags &= ~FIN
     # Back trim (beyond the window).
-    window_edge = seq_add(conn.rcv_nxt, rcv_wnd)
-    overflow = seq_diff(seq_add(seq, len(payload)), window_edge)
+    n = len(payload)
+    overflow = (seq + n - conn.rcv_nxt - rcv_wnd) % MOD
+    if overflow >= _HALF:
+        overflow -= MOD
     if overflow > 0:
-        payload = payload[: max(0, len(payload) - overflow)]
+        keep = n - overflow
+        payload = payload[: keep if keep > 0 else 0]
         seg.flags &= ~FIN
     seg.seq = seq
     seg.payload = payload
@@ -258,13 +274,17 @@ def _ack_input(conn, seg):
         conn.snd_wl1 = seg.seq
         conn.snd_wl2 = seg.ack
 
-    if seq_gt(seg.ack, conn.snd_max):
+    # seq_gt/seq_diff/seq_ge/seq_lt written out inline from here down:
+    # the ACK field is processed once per received segment.
+    if 0 < (seg.ack - conn.snd_max) % MOD < _HALF:
         # ACK for data never sent: ack back and drop.
         conn.ack_now = True
         tcp_output.tcp_output(conn)
         return False
 
-    acked = seq_diff(seg.ack, conn.snd_una)
+    acked = (seg.ack - conn.snd_una) % MOD
+    if acked >= _HALF:
+        acked -= MOD
 
     if acked <= 0:
         # Possible duplicate ACK (Jacobson fast retransmit).
@@ -288,19 +308,19 @@ def _ack_input(conn, seg):
         syn_octet = 1 if conn.snd_una == conn.iss else 0
         data_acked = acked - syn_octet
         fin_octet = 0
-        if conn.fin_sent and seq_ge(seg.ack, conn.snd_max) and data_acked > len(
-            conn.snd_buffer
-        ):
+        buffered = conn.snd_buffer.used
+        if (conn.fin_sent and (seg.ack - conn.snd_max) % MOD < _HALF
+                and data_acked > buffered):
             fin_octet = 1
             data_acked -= 1
-        conn.snd_buffer.drop(min(data_acked, len(conn.snd_buffer)))
-        if conn.t_rtt and seq_gt(seg.ack, conn.rtt_seq):
+        conn.snd_buffer.drop(data_acked if data_acked < buffered else buffered)
+        if conn.t_rtt and 0 < (seg.ack - conn.rtt_seq) % MOD < _HALF:
             conn.rtt.update(conn.t_rtt)
             conn.t_rtt = 0
         conn.rtt.rxtshift = 0
         conn.cc.on_ack(True)
         conn.snd_una = seg.ack
-        if seq_lt(conn.snd_nxt, conn.snd_una):
+        if (conn.snd_nxt - conn.snd_una) % MOD >= _HALF:
             conn.snd_nxt = conn.snd_una
         if conn.snd_una == conn.snd_max:
             conn.stop_timer(TCPT_REXMT)
@@ -331,9 +351,11 @@ def _ack_state_transitions(conn, fin_acked):
 
 
 def _update_send_window(conn, seg):
+    # seq_lt/seq_le written out inline: once per received segment.
+    d = (conn.snd_wl2 - seg.ack) % MOD
     if (
-        seq_lt(conn.snd_wl1, seg.seq)
-        or (conn.snd_wl1 == seg.seq and seq_le(conn.snd_wl2, seg.ack))
+        (conn.snd_wl1 - seg.seq) % MOD >= _HALF
+        or (conn.snd_wl1 == seg.seq and (d == 0 or d >= _HALF))
     ):
         conn.snd_wnd = seg.window << conn.snd_scale
         conn.snd_wl1 = seg.seq
@@ -356,10 +378,10 @@ def _data_input(conn, seg):
         return  # data after our FIN exchange completed: ignore
 
     if payload:
-        if seg.seq == conn.rcv_nxt and conn.reass.pending_segments() == 0:
+        if seg.seq == conn.rcv_nxt and not conn.reass._segments:
             # Fast path: exactly the next data, nothing queued.
             conn.rcv_buffer.append(payload)
-            conn.rcv_nxt = seq_add(conn.rcv_nxt, len(payload))
+            conn.rcv_nxt = (conn.rcv_nxt + len(payload)) % MOD
             conn.stats.bytes_received += len(payload)
             if conn.config.delayed_ack and not conn.ack_now:
                 if conn.delack_pending:
@@ -379,12 +401,12 @@ def _data_input(conn, seg):
             conn.ack_now = True  # out-of-order: duplicate ACK immediately
 
     if fin:
-        fin_seq = seq_add(seg.seq, len(payload))
+        fin_seq = (seg.seq + len(payload)) % MOD
         if fin_seq != conn.rcv_nxt:
             return  # FIN beyond a hole: wait for the hole to fill
         if not conn.fin_received:
             conn.fin_received = True
-            conn.rcv_nxt = seq_add(conn.rcv_nxt, 1)
+            conn.rcv_nxt = (conn.rcv_nxt + 1) % MOD
         conn.ack_now = True
         if conn.state == TCPState.ESTABLISHED:
             conn.set_state(TCPState.CLOSE_WAIT)

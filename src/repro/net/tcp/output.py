@@ -6,7 +6,15 @@ segments on its outbox.
 """
 
 from repro.net.tcp.header import ACK, FIN, PSH, RST, SYN, URG, TCPSegment
-from repro.net.tcp.seq import seq_add, seq_diff, seq_gt, seq_lt, seq_max
+from repro.net.tcp.seq import (
+    MOD,
+    _HALF,
+    seq_add,
+    seq_diff,
+    seq_gt,
+    seq_lt,
+    seq_max,
+)
 from repro.net.tcp.state import SYNCHRONIZED, TCPState
 from repro.net.tcp.tcb import ConnectionTimedOut
 from repro.net.tcp.timers import TCPT_PERSIST, TCPT_REXMT
@@ -26,33 +34,47 @@ def receiver_window(conn):
     Returns the *actual* window in bytes; with RFC 1323 scaling in effect
     it is rounded down to the scale granularity and capped at the scaled
     16-bit maximum."""
-    space = conn.rcv_buffer.space() - len(conn.reass)
-    if space < conn.rcv_buffer.hiwat // 4 and space < conn.effective_mss():
+    # Inline of rcv_buffer.space() - len(reass) and the seq_diff/min/max
+    # cascade — this runs for every segment built.
+    buf = conn.rcv_buffer
+    free = buf.hiwat - buf.used
+    space = (free if free > 0 else 0) - conn.reass.used
+    if space < buf.hiwat // 4 and space < conn.eff_mss:
         space = 0  # silly window avoidance (receiver side)
-    space = max(0, min(space, MAX_WINDOW << conn.rcv_scale))
+    cap = MAX_WINDOW << conn.rcv_scale
+    if space > cap:
+        space = cap
+    elif space < 0:
+        space = 0
     space = (space >> conn.rcv_scale) << conn.rcv_scale
-    already_offered = seq_diff(conn.rcv_adv, conn.rcv_nxt)
-    return max(space, already_offered, 0)
+    already_offered = (conn.rcv_adv - conn.rcv_nxt) % MOD
+    if already_offered >= _HALF:  # rcv_adv behind rcv_nxt: nothing extra
+        return space
+    return space if space >= already_offered else already_offered
 
 
 def _make_segment(conn, seq, flags, payload=b"", mss_option=None,
                   wscale_option=None):
     window = receiver_window(conn)
     # RFC 1323: the window field of a SYN is never scaled.
-    field = window if flags & SYN else min(window >> conn.rcv_scale,
-                                           MAX_WINDOW)
+    field = window if flags & SYN else window >> conn.rcv_scale
+    if field > MAX_WINDOW:
+        field = MAX_WINDOW
     segment = TCPSegment(
         src_port=conn.local[1],
         dst_port=conn.remote[1],
         seq=seq,
         ack=conn.rcv_nxt if flags & ACK else 0,
         flags=flags,
-        window=min(field, MAX_WINDOW),
+        window=field,
         payload=payload,
         mss_option=mss_option,
         wscale_option=wscale_option,
     )
-    conn.rcv_adv = seq_max(conn.rcv_adv, seq_add(conn.rcv_nxt, window))
+    # rcv_adv = seq_max(rcv_adv, rcv_nxt + window), inlined.
+    offered = (conn.rcv_nxt + window) % MOD
+    if (conn.rcv_adv - offered) % MOD >= _HALF:
+        conn.rcv_adv = offered
     conn.ack_now = False
     conn.delack_pending = False
     if flags & ACK:
@@ -88,19 +110,33 @@ def tcp_output(conn, force=False):
     idle = conn.snd_una == conn.snd_max
     if idle and conn.t_idle >= conn.rtt.rto_ticks():
         # Slow-start restart after an idle period (Jacobson).
-        conn.cc.cwnd = conn.effective_mss()
+        conn.cc.cwnd = conn.eff_mss
 
     sendalot = True
     while sendalot:
         sendalot = False
-        mss = conn.effective_mss()
-        off = max(0, seq_diff(conn.snd_nxt, conn.snd_una))
-        win = conn.cc.window(conn.snd_wnd)
+        mss = conn.eff_mss
+        # off = max(0, seq_diff(snd_nxt, snd_una)), inlined.
+        off = (conn.snd_nxt - conn.snd_una) % MOD
+        if off >= _HALF:
+            off = 0
+        # win = cc.window(snd_wnd) = min(snd_wnd, cwnd), inlined.
+        win = conn.snd_wnd
+        cwnd = conn.cc.cwnd
+        if cwnd < win:
+            win = cwnd
         if force and win == 0:
             win = 1  # window probe: force out one byte
-        buffered = len(conn.snd_buffer)
-        length = min(buffered - off, win - off, mss)
-        length = max(0, length)
+        buffered = conn.snd_buffer.used
+        # length = max(0, min(buffered - off, win - off, mss)), inlined.
+        length = buffered - off
+        winoff = win - off
+        if winoff < length:
+            length = winoff
+        if mss < length:
+            length = mss
+        if length < 0:
+            length = 0
 
         fin_here = (
             conn.fin_queued
@@ -161,14 +197,22 @@ def _window_update_due(conn):
     if conn.state not in SYNCHRONIZED:
         return False
     max_window = MAX_WINDOW << conn.rcv_scale
-    new_window = min(conn.rcv_buffer.space() - len(conn.reass), max_window)
-    advertised = seq_diff(conn.rcv_adv, conn.rcv_nxt)
+    buf = conn.rcv_buffer
+    free = buf.hiwat - buf.used
+    new_window = (free if free > 0 else 0) - conn.reass.used
+    if new_window > max_window:
+        new_window = max_window
+    # advertised = seq_diff(rcv_adv, rcv_nxt), inlined (signed).
+    advertised = (conn.rcv_adv - conn.rcv_nxt) % MOD
+    if advertised >= _HALF:
+        advertised -= MOD
     gain = new_window - advertised
     if gain <= 0:
         return False
-    return gain >= 2 * conn.effective_mss() or gain >= min(
-        conn.rcv_buffer.hiwat, max_window
-    ) // 2
+    if gain >= 2 * conn.eff_mss:
+        return True
+    hiwat = buf.hiwat
+    return gain >= (hiwat if hiwat < max_window else max_window) // 2
 
 
 def _send_syn(conn, extra_flags):
@@ -193,7 +237,7 @@ def _send_data_segment(conn, off, length, include_fin):
     flags = ACK
     if include_fin:
         flags |= FIN
-    if length and off + length == len(conn.snd_buffer):
+    if length and off + length == conn.snd_buffer.used:
         flags |= PSH
     urgent = 0
     if seq_lt(conn.snd_nxt, conn.snd_up):

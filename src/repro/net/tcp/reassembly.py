@@ -14,9 +14,13 @@ class ReassemblyQueue:
     def __init__(self):
         self._segments = []  # sorted list of [seq, bytearray]
         self.overlaps_trimmed = 0
+        #: Total buffered bytes, maintained by insert/extract so the
+        #: per-segment window math reads an attribute instead of
+        #: summing the queue (which is almost always empty).
+        self.used = 0
 
     def __len__(self):
-        return sum(len(data) for _seq, data in self._segments)
+        return self.used
 
     def pending_segments(self):
         return len(self._segments)
@@ -55,6 +59,7 @@ class ReassemblyQueue:
         base = merged[0][0]
         merged.sort(key=lambda item: seq_diff(item[0], base))
         self._segments = merged
+        self.used = sum(len(data) for _seq, data in merged)
 
     def extract(self, rcv_nxt):
         """Return (data, new_rcv_nxt): all bytes contiguous from rcv_nxt."""
@@ -71,4 +76,5 @@ class ReassemblyQueue:
             else:
                 remaining.append([seg_seq, seg_data])
         self._segments = remaining
+        self.used = sum(len(data) for _seq, data in remaining)
         return bytes(out), rcv_nxt

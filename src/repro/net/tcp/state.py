@@ -16,6 +16,11 @@ class TCPState(Enum):
     LAST_ACK = "LAST_ACK"
     TIME_WAIT = "TIME_WAIT"
 
+    # Members are singletons, so identity hashing is equivalent to
+    # Enum's Python-level __hash__ — and set-membership tests on states
+    # sit on the per-segment fast path.
+    __hash__ = object.__hash__
+
 
 #: States from which user data may be sent.
 SEND_OK = frozenset({TCPState.ESTABLISHED, TCPState.CLOSE_WAIT})

@@ -29,25 +29,36 @@ class NotConnected(TCPError):
 
 
 class SendBuffer:
-    """Unacknowledged and unsent outgoing data, anchored at snd_una."""
+    """Unacknowledged and unsent outgoing data, anchored at snd_una.
+
+    ``used`` mirrors ``len(self._data)`` so per-segment code can read
+    occupancy (and compute ``hiwat - used``) as attribute loads instead
+    of ``len()``/``space()`` calls.
+    """
 
     def __init__(self, hiwat):
         if hiwat < 1:
             raise ValueError("send buffer size must be positive")
         self.hiwat = hiwat
         self._data = bytearray()
+        self.used = 0
 
     def __len__(self):
-        return len(self._data)
+        return self.used
 
     def space(self):
-        return max(0, self.hiwat - len(self._data))
+        free = self.hiwat - self.used
+        return free if free > 0 else 0
 
     def append(self, data):
         """Queue as much of ``data`` as fits; returns the byte count taken."""
-        take = min(len(data), self.space())
-        if take:
-            self._data.extend(data[:take])
+        free = self.hiwat - self.used
+        n = len(data)
+        take = n if n < free else free
+        if take <= 0:
+            return 0
+        self._data.extend(data if take == n else data[:take])
+        self.used += take
         return take
 
     def slice_from(self, offset, length):
@@ -59,10 +70,11 @@ class SendBuffer:
 
     def drop(self, count):
         """Discard ``count`` acknowledged bytes from the front."""
-        if count > len(self._data):
+        if count > self.used:
             raise ValueError("ack drops more than buffered: %d > %d"
-                             % (count, len(self._data)))
+                             % (count, self.used))
         del self._data[:count]
+        self.used -= count
 
     def set_hiwat(self, hiwat):
         if hiwat < 1:
@@ -74,32 +86,41 @@ class SendBuffer:
 
     def restore(self, data):
         self._data = bytearray(data)
+        self.used = len(self._data)
 
 
 class ReceiveBuffer:
-    """In-order received data awaiting the application."""
+    """In-order received data awaiting the application.
+
+    ``used`` mirrors ``len(self._data)``; see :class:`SendBuffer`.
+    """
 
     def __init__(self, hiwat):
         if hiwat < 1:
             raise ValueError("receive buffer size must be positive")
         self.hiwat = hiwat
         self._data = bytearray()
+        self.used = 0
 
     def __len__(self):
-        return len(self._data)
+        return self.used
 
     def space(self):
-        return max(0, self.hiwat - len(self._data))
+        free = self.hiwat - self.used
+        return free if free > 0 else 0
 
     def append(self, data):
         self._data.extend(data)
+        self.used += len(data)
 
     def take(self, count):
         """Remove and return up to ``count`` bytes from the front."""
         if count < 0:
             raise ValueError("negative receive count")
         out = bytes(self._data[:count])
-        del self._data[: len(out)]
+        taken = len(out)
+        del self._data[:taken]
+        self.used -= taken
         return out
 
     def peek(self, count):
@@ -115,3 +136,4 @@ class ReceiveBuffer:
 
     def restore(self, data):
         self._data = bytearray(data)
+        self.used = len(self._data)

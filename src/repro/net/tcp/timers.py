@@ -37,6 +37,7 @@ TCP_MAXRXTSHIFT = 12
 
 #: Exponential backoff table (BSD tcp_backoff[]).
 BACKOFF = [1, 2, 4, 8, 16, 32, 64, 64, 64, 64, 64, 64, 64]
+_BACKOFF_MAX = len(BACKOFF) - 1
 
 
 class RTTEstimator:
@@ -88,8 +89,11 @@ class RTTEstimator:
         else:
             # BSD's TCP_REXMTVAL: srtt/8 + rttvar.
             base = (self.srtt >> self.SRTT_SHIFT) + self.rttvar
-        rto = base * BACKOFF[min(self.rxtshift, len(BACKOFF) - 1)]
-        return max(TCPTV_MIN, min(rto, TCPTV_REXMTMAX))
+        shift = self.rxtshift
+        rto = base * BACKOFF[shift if shift < _BACKOFF_MAX else _BACKOFF_MAX]
+        if rto > TCPTV_REXMTMAX:
+            rto = TCPTV_REXMTMAX
+        return rto if rto > TCPTV_MIN else TCPTV_MIN
 
     def backoff(self):
         """Record a retransmission; returns True if the connection should drop."""

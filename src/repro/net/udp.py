@@ -2,7 +2,7 @@
 
 import struct
 
-from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+from repro.net.checksum import internet_checksum
 from repro.net.ip import PROTO_UDP
 
 HEADER_LEN = 8
@@ -36,7 +36,13 @@ def encapsulate(src_ip, dst_ip, src_port, dst_port, payload):
     datagram = bytearray(length)
     _UDP_STRUCT.pack_into(datagram, 0, src_port, dst_port, length, 0)
     datagram[HEADER_LEN:] = payload
-    pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length)
+    # pseudo_header_sum written out inline (once per datagram built);
+    # internet_checksum folds the carries.
+    pseudo = (
+        (src_ip >> 16) + (src_ip & 0xFFFF)
+        + (dst_ip >> 16) + (dst_ip & 0xFFFF)
+        + PROTO_UDP + length
+    )
     checksum = internet_checksum(datagram, initial=pseudo)
     if checksum == 0:
         checksum = 0xFFFF  # RFC 768: zero means "no checksum"
@@ -57,7 +63,22 @@ def decapsulate(src_ip, dst_ip, datagram, verify=True):
         raise ValueError("bad UDP length field: %d" % length)
     datagram = bytes(datagram[:length])
     if verify and checksum != 0:
-        pseudo = pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length)
-        if not verify_checksum(datagram, initial=pseudo):
+        # pseudo_header_sum/verify_checksum written out inline (once
+        # per datagram received).
+        total = int.from_bytes(datagram, "big")
+        if length & 1:
+            total <<= 8
+        if total:
+            total %= 0xFFFF
+            if not total:
+                total = 0xFFFF
+        total += (
+            (src_ip >> 16) + (src_ip & 0xFFFF)
+            + (dst_ip >> 16) + (dst_ip & 0xFFFF)
+            + PROTO_UDP + length
+        )
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        if total != 0xFFFF:
             raise ValueError("bad UDP checksum")
     return UDPHeader(src_port, dst_port, length), datagram[HEADER_LEN:]

@@ -22,8 +22,11 @@ fire entry, and a fire made stale by an interrupt no-ops on its token
 check, exactly as a skipped hop would have.
 """
 
+from heapq import heappop, heappush
+
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import Event, PENDING, SUCCEEDED
+from repro.sim.sync import _Waiter
 
 
 class Timeout:
@@ -81,7 +84,7 @@ class Process(Event):
     """A running coroutine.  Create via :meth:`Simulator.spawn`."""
 
     __slots__ = ("_generator", "_wait_token", "_alive", "_event_cb",
-                 "_charge", "_charge_i", "_charge_waiter", "_charge_cb",
+                 "_charge", "_charge_i", "_charge_waiter", "_cw",
                  "waiting_on", "trace_ctx", "request_ctx", "domain")
 
     def __init__(self, sim, generator, name=""):
@@ -94,15 +97,17 @@ class Process(Event):
         self._generator = generator
         self._wait_token = object()
         self._alive = True
-        #: Prebound event callbacks, created once so waiting on an event
-        #: (or on the CPU lock inside a charge) allocates nothing per wait.
+        #: Prebound event callback, created once so waiting on an event
+        #: allocates nothing per wait.
         self._event_cb = self._on_event
-        self._charge_cb = self._on_charge_lock
         #: The in-flight :class:`Charge`, the index of the pair being
         #: billed, and the lock waiter if that pair is queued for the CPU.
         self._charge = None
         self._charge_i = 0
         self._charge_waiter = None
+        #: Reusable CPU-lock waiter (see PriorityLock.enqueue_charge):
+        #: one contention needs no allocation at all once this exists.
+        self._cw = None
         #: The Event or Timeout this process is currently blocked on
         #: (deadlock diagnostics); None while runnable or finished.
         self.waiting_on = None
@@ -152,9 +157,13 @@ class Process(Event):
             waiter = self._charge_waiter
             if waiter is not None:
                 sched.withdraw(waiter)
-                if waiter.event.triggered:
+                if waiter.granted:
                     sched.release()
                 self._charge_waiter = None
+                # A dead heap entry (or a stale grant in the ready
+                # deque) may still reference the cached waiter: never
+                # reuse it.
+                self._cw = None
             elif sched._heap:
                 sched.release()
             else:
@@ -249,10 +258,24 @@ class Process(Event):
                     self._charge_i = 0
                     sched = target.cpu._sched
                     if sched._locked:
-                        waiter = sched.enqueue(target.priority)
+                        # Inline of sched.enqueue_charge (one call per
+                        # CPU contention; must stay an exact mirror).
+                        waiter = self._cw
+                        if waiter is None:
+                            waiter = self._cw = _Waiter(None)
+                            waiter.proc = self
+                        waiter.alive = True
+                        waiter.granted = False
+                        waiter.queued_at = sim._now
+                        heappush(sched._heap,
+                                 (target.priority, next(sched._seq), waiter))
+                        sched._live += 1
+                        sched.contended += 1
+                        gauge = sched.depth_gauge
+                        if gauge is not None:
+                            gauge.record(sched._live)
                         self._charge_waiter = waiter
-                        self.waiting_on = waiter.event
-                        waiter.event.add_callback(self._charge_cb)
+                        self.waiting_on = waiter
                     else:
                         sched._locked = True
                         self._charge_waiter = None
@@ -270,7 +293,9 @@ class Process(Event):
                 status = self._start_charge_pair(target, 0, token)
                 if status is None:
                     return  # queued for the CPU or sleeping on a pair
-            elif isinstance(target, Event):
+            elif cls is Event or cls is Process or isinstance(target, Event):
+                # Exact-class tests first: they are plain bytecode, and
+                # nearly every event wait is a bare Event or a join.
                 self.waiting_on = target
                 target.add_callback(self._event_cb)
                 return
@@ -332,10 +357,23 @@ class Process(Event):
             self._charge_i = i
             sched = charge.cpu._sched
             if sched._locked:
-                waiter = sched.enqueue(charge.priority)
+                # Inline of sched.enqueue_charge (see _wait_for).
+                waiter = self._cw
+                if waiter is None:
+                    waiter = self._cw = _Waiter(None)
+                    waiter.proc = self
+                waiter.alive = True
+                waiter.granted = False
+                waiter.queued_at = self._sim._now
+                heappush(sched._heap,
+                         (charge.priority, next(sched._seq), waiter))
+                sched._live += 1
+                sched.contended += 1
+                gauge = sched.depth_gauge
+                if gauge is not None:
+                    gauge.record(sched._live)
                 self._charge_waiter = waiter
-                self.waiting_on = waiter.event
-                waiter.event.add_callback(self._charge_cb)
+                self.waiting_on = waiter
             else:
                 sched._locked = True
                 self._charge_waiter = None
@@ -353,13 +391,20 @@ class Process(Event):
         self._charge = None
         return True
 
-    def _on_charge_lock(self, event):
-        """The CPU lock was handed to this process's queued waiter."""
-        if event is not self.waiting_on or not self._alive:
+    def _charge_granted(self, waiter):
+        """The CPU lock was handed to this process's queued waiter.
+
+        Scheduled directly onto the ready deque by
+        :meth:`~repro.sim.sync.PriorityLock.release` (no per-contention
+        Event).  The identity guard keeps a stale grant dead after an
+        interrupt, exactly as the old event callback's ``waiting_on``
+        check did: a renege clears ``_charge_waiter`` and forwards the
+        hand-off before this entry can run.
+        """
+        if waiter is not self._charge_waiter or not self._alive:
             return  # reneged (interrupt); release() forwarding handles it
         charge = self._charge
         cost = charge.pairs[self._charge_i][1]
-        waiter = self._charge_waiter
         if self.trace_ctx is not None:
             # The queued interval is CPU contention on the packet's
             # critical path.  Pure observation (a ring append) — the
@@ -399,8 +444,28 @@ class Process(Event):
         charge = self._charge
         cpu = charge.cpu
         sched = cpu._sched
-        if sched._heap:
-            sched.release()
+        heap = sched._heap
+        if heap:
+            # Inline of sched.release() — we hold the lock, so hand it
+            # to the highest-priority live waiter (one call per charge
+            # completion under contention; must stay an exact mirror).
+            while heap:
+                _prio, _seq, waiter = heappop(heap)
+                if waiter.alive:
+                    waiter.alive = False
+                    sched._live -= 1
+                    proc = waiter.proc
+                    if proc is not None:  # charge fast waiter
+                        waiter.granted = True
+                        sim._ready.append((proc._charge_granted, (waiter,)))
+                    else:
+                        waiter.event.succeed()
+                    gauge = sched.depth_gauge
+                    if gauge is not None:
+                        gauge.record(sched._live)
+                    break
+            else:
+                sched._locked = False
         else:
             sched._locked = False
         i = self._charge_i

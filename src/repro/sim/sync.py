@@ -25,18 +25,29 @@ from repro.sim.events import Event
 class _Waiter:
     """A queue entry that can be withdrawn (lazy removal).
 
-    ``queued_at`` is stamped by :meth:`PriorityLock.enqueue` only — the
-    CPU scheduler's queue is where contention waits are attributed to
-    packet traces (see :meth:`Process._on_charge_lock`); the other
-    primitives leave it None.
+    ``queued_at`` is stamped by the :class:`PriorityLock` enqueues only
+    — the CPU scheduler's queue is where contention waits are
+    attributed to packet traces (see
+    :meth:`Process._charge_granted`); the other primitives leave it
+    None.  A waiter queued via :meth:`PriorityLock.enqueue_charge`
+    carries its ``proc`` instead of an event and is woken by scheduling
+    the process's grant method directly; ``granted`` then plays the
+    role ``event.triggered`` plays for event waiters.
     """
 
-    __slots__ = ("event", "alive", "queued_at")
+    __slots__ = ("event", "alive", "queued_at", "proc", "granted")
 
     def __init__(self, event):
         self.event = event
         self.alive = True
         self.queued_at = None
+        self.proc = None
+        self.granted = False
+
+    def __repr__(self):
+        kind = "charge" if self.proc is not None else "event"
+        return "<lock waiter (%s)%s>" % (
+            kind, "" if self.alive else " done")
 
 
 class Lock:
@@ -58,7 +69,7 @@ class Lock:
         if not self._locked:
             self._locked = True
             return
-        waiter = _Waiter(self._sim.event(self._waiter_name))
+        waiter = _Waiter(Event(self._sim, name=self._waiter_name))
         self._waiters.append(waiter)
         try:
             yield waiter.event
@@ -153,7 +164,36 @@ class PriorityLock:
         forward the hand-off with :meth:`release`.
         """
         waiter = _Waiter(Event(self._sim, name=self._waiter_name))
-        waiter.queued_at = self._sim.now
+        waiter.queued_at = self._sim._now
+        heapq.heappush(self._heap, (priority, next(self._seq), waiter))
+        self._live += 1
+        self.contended += 1
+        gauge = self.depth_gauge
+        if gauge is not None:
+            gauge.record(self._live)
+        return waiter
+
+    def enqueue_charge(self, proc, priority):
+        """Queue ``proc``'s in-flight charge for the CPU.
+
+        The charge-path twin of :meth:`enqueue`: instead of allocating
+        a one-shot :class:`Event` per contention, the waiter carries
+        the process and :meth:`release` schedules its
+        ``_charge_granted`` method directly.  The ready-deque append
+        happens at the exact moment ``event.succeed()`` would have
+        appended the event dispatch, so wake order — and therefore the
+        whole simulated schedule — is unchanged.  The waiter object is
+        cached on the process and reused contention after contention;
+        the cache is dropped whenever a renege leaves a stale reference
+        in the heap (see :meth:`Process._resume`).
+        """
+        waiter = proc._cw
+        if waiter is None:
+            waiter = proc._cw = _Waiter(None)
+            waiter.proc = proc
+        waiter.alive = True
+        waiter.granted = False
+        waiter.queued_at = self._sim._now
         heapq.heappush(self._heap, (priority, next(self._seq), waiter))
         self._live += 1
         self.contended += 1
@@ -176,7 +216,12 @@ class PriorityLock:
             if waiter.alive:
                 waiter.alive = False
                 self._live -= 1
-                waiter.event.succeed()
+                proc = waiter.proc
+                if proc is not None:  # charge fast waiter: direct grant
+                    waiter.granted = True
+                    self._sim._ready.append((proc._charge_granted, (waiter,)))
+                else:
+                    waiter.event.succeed()
                 gauge = self.depth_gauge
                 if gauge is not None:
                     gauge.record(self._live)
@@ -206,7 +251,7 @@ class Condition:
         """``yield from cond.wait()`` — caller must hold the lock."""
         if not self.lock.locked:
             raise SimulationError("wait() on %r without holding its lock" % self)
-        waiter = _Waiter(self._sim.event(self._waiter_name))
+        waiter = _Waiter(Event(self._sim, name=self._waiter_name))
         self._waiters.append(waiter)
         self.lock.release()
         try:
@@ -259,7 +304,7 @@ class Semaphore:
         if self._value > 0:
             self._value -= 1
             return
-        waiter = _Waiter(self._sim.event(self._waiter_name))
+        waiter = _Waiter(Event(self._sim, name=self._waiter_name))
         self._waiters.append(waiter)
         try:
             yield waiter.event
@@ -329,7 +374,7 @@ class Channel:
     def put(self, item):
         """``yield from chan.put(item)``"""
         while self._capacity is not None and len(self._items) >= self._capacity:
-            waiter = _Waiter(self._sim.event(self._put_name))
+            waiter = _Waiter(Event(self._sim, name=self._put_name))
             self._putters.append(waiter)
             try:
                 yield waiter.event
@@ -339,20 +384,22 @@ class Channel:
                     self._wake(self._putters)  # forward the free slot
                 raise
         self._items.append(item)
-        self._wake(self._getters)
+        if self._getters:
+            self._wake(self._getters)
 
     def try_put(self, item):
         """Non-blocking put; returns False if the channel is full."""
         if self._capacity is not None and len(self._items) >= self._capacity:
             return False
         self._items.append(item)
-        self._wake(self._getters)
+        if self._getters:
+            self._wake(self._getters)
         return True
 
     def get(self):
         """``item = yield from chan.get()``"""
         while not self._items:
-            waiter = _Waiter(self._sim.event(self._get_name))
+            waiter = _Waiter(Event(self._sim, name=self._get_name))
             self._getters.append(waiter)
             try:
                 yield waiter.event
@@ -362,7 +409,8 @@ class Channel:
                     self._wake(self._getters)  # forward the wakeup
                 raise
         item = self._items.popleft()
-        self._wake(self._putters)
+        if self._putters:
+            self._wake(self._putters)
         return item
 
     def try_get(self):
@@ -370,7 +418,8 @@ class Channel:
         if not self._items:
             return False, None
         item = self._items.popleft()
-        self._wake(self._putters)
+        if self._putters:
+            self._wake(self._putters)
         return True, item
 
     def peek_all(self):

@@ -69,12 +69,19 @@ class ExecutionContext:
     # ------------------------------------------------------------------
 
     def charge(self, layer, cost):
-        """Charge ``cost`` microseconds attributed to ``layer``."""
-        charge = self._charge_cache.get((layer, cost))
-        if charge is None:
-            charge = self._charge_cache[(layer, cost)] = Charge(
-                self.cpu, self.priority, self.accounting, ((layer, cost),)
-            )
+        """Charge ``cost`` microseconds attributed to ``layer``.
+
+        Cache hits use ``in`` + subscript rather than ``dict.get``:
+        both run as bytecode, not as a method call, and this is the
+        hottest lookup in the simulator.
+        """
+        cache = self._charge_cache
+        key = (layer, cost)
+        if key in cache:
+            return cache[key]
+        charge = cache[key] = Charge(
+            self.cpu, self.priority, self.accounting, ((layer, cost),)
+        )
         return charge
 
     def charge_batch(self, charges):
@@ -85,11 +92,12 @@ class ExecutionContext:
         the charges one ``charge()`` at a time — only the Python
         overhead between the pairs is fused away.
         """
-        charge = self._charge_cache.get(charges)
-        if charge is None:
-            charge = self._charge_cache[charges] = Charge(
-                self.cpu, self.priority, self.accounting, charges
-            )
+        cache = self._charge_cache
+        if charges in cache:
+            return cache[charges]
+        charge = cache[charges] = Charge(
+            self.cpu, self.priority, self.accounting, charges
+        )
         return charge
 
     def charge_copy(self, layer, nbytes):

@@ -1,0 +1,34 @@
+"""Batched packet-train dispatch switch.
+
+The train-dispatch paths (:meth:`NetworkStack.input_train`, the kernel's
+train interrupt loop, the fused charge batches on the send path) are
+bit-identical to the legacy per-frame paths by construction: every
+``(layer, cost)`` pair keeps its own CPU acquire/sleep/release point
+(see :meth:`repro.stack.context.ExecutionContext.charge_batch`), and only
+pure Python computation moves relative to the charges.  The switch exists
+so the speedup can be *measured* instead of asserted — the wall-clock
+benchmark (:mod:`repro.analysis.bench_wallclock`) runs every harness both
+ways and reports the Python-call-volume ratio — and so a suspected
+batching bug can be bisected by flipping one flag.
+
+Components read the flag when they are built (loops are chosen at spawn
+time) and on the per-call send fast paths, so flipping it between world
+constructions is enough for an A/B run in one process.  Set
+``REPRO_TRAIN_DISPATCH=0`` in the environment to default it off.
+"""
+
+import os
+
+TRAIN_DISPATCH = os.environ.get("REPRO_TRAIN_DISPATCH", "1") != "0"
+
+
+def train_dispatch_enabled():
+    return TRAIN_DISPATCH
+
+
+def set_train_dispatch(enabled):
+    """Flip the dispatch mode; returns the previous value."""
+    global TRAIN_DISPATCH
+    previous = TRAIN_DISPATCH
+    TRAIN_DISPATCH = bool(enabled)
+    return previous

@@ -247,6 +247,37 @@ def run_workload(world, spec, request_tracer=None):
     return result
 
 
+def spawn_udp_partition(world, spec, schedules, result, local_hosts):
+    """Spawn the UDP workload for ``local_hosts`` only; don't run it.
+
+    The island backend (:mod:`repro.sim.parallel`) builds the full
+    world in every worker but drives just its own islands: servers on
+    local hosts, clients for local entries of ``schedules``.  The spawn
+    order mirrors :func:`run_workload`'s UDP branch exactly — servers
+    in host order, then clients in sorted schedule order — so the
+    relative schedule of local processes is identical to the
+    single-process run.  Returns ``(client_processes, start, end)``;
+    the caller drives the simulator (in lookahead windows) until every
+    client process has triggered.
+    """
+    sim = world.sim
+    start = sim.now + 1000.0
+    end = start + spec.window_us + spec.drain_us
+    for host_index in range(len(world.hosts)):
+        if host_index in local_hosts:
+            api = world.new_app(host_index)
+            sim.spawn(_udp_server(api, sim, spec, end),
+                      name="wl-srv-%d" % host_index)
+    clients = [
+        sim.spawn(_udp_client(world.new_app(client), sim, spec,
+                              schedules[client], world, start, end,
+                              result),
+                  name="wl-client-%d" % client)
+        for client in sorted(schedules) if client in local_hosts
+    ]
+    return clients, start, end
+
+
 # -- UDP ---------------------------------------------------------------
 
 def _udp_server(api, sim, spec, end):

@@ -200,10 +200,10 @@ def test_waiting_on_reporting(sim):
     sim.spawn(observer())
     sim.run()
     # Mid-sleep the holder waits on its Charge; the queued process waits
-    # on the CPU lock's hand-off event — both show up in deadlock
+    # on the CPU lock's hand-off waiter — both show up in deadlock
     # diagnostics rather than as "nothing".
     assert "Charge" in seen["holder"]
-    assert "Event" in seen["queued"]
+    assert "waiter" in seen["queued"]
 
 
 def test_deadlock_report_includes_charge(sim):

@@ -90,8 +90,7 @@ def test_sweep_is_deterministic_across_runs(tmp_path):
         rc = tailstudy.main(_FAST + ["--placements", "mach25",
                                      "-o", str(out)])
         assert rc == 0
-        doc = json.loads(out.read_text())
-        doc.pop("wallclock_seconds")
+        doc = tailstudy.strip_volatile(json.loads(out.read_text()))
         docs.append(doc)
     assert docs[0] == docs[1]
 
