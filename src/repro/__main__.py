@@ -9,6 +9,9 @@ Subcommands::
                                   # time series + telemetry summary
     python -m repro forensics     # render a tailstudy --forensics
                                   # document: attribution + exemplars
+    python -m repro ops           # one unified ops report: sessions,
+                                  # control plane, metrics, tracer
+                                  # health, islands, flight recorder
     python -m repro profile X     # run bench harness X under cProfile,
                                   # print the top-N cumulative table
 
@@ -363,6 +366,17 @@ def main(argv=None):
     p_forensics.add_argument("--top", type=int, default=3,
                              help="contributors in --summary "
                                   "(default %(default)s)")
+
+    sub.add_parser(
+        "ops", add_help=False,
+        help="one unified ops report (see repro.analysis.opsreport)")
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["ops"]:
+        # The ops report owns its own argument parser.
+        from repro.analysis.opsreport import main as ops_main
+        return ops_main(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "netstat":

@@ -32,6 +32,7 @@ CI runs the blocking subset (``--ci``: 3 scenarios x 3 seeds); the full
 import argparse
 import itertools
 import json
+import os
 import sys
 
 from repro.core.sockets import SOCK_STREAM, SocketError
@@ -285,9 +286,14 @@ WORKLOAD_FUNCS = {"ttcp": _ttcp, "protolat": _protolat, "churn": _churn}
 # --- the runner --------------------------------------------------------
 
 
-def run_scenario(scenario_id, seed, verbose=False):
+def run_scenario(scenario_id, seed, verbose=False, post_mortem=None):
     """Run one scenario under one seed; returns a result dict with an
-    (ideally empty) ``violations`` list and the observed counters."""
+    (ideally empty) ``violations`` list and the observed counters.
+
+    With ``post_mortem`` set to a file path, any violated run dumps the
+    engine's flight-recorder ring there (text timeline; ``.json`` gets
+    the chrome trace) so the moments leading up to the failure are
+    reconstructable without a rerun."""
     config, workload, family = scenario_id.split("/")
     if config not in FAMILY_CONFIGS[family]:
         raise ValueError("scenario %r is not in the matrix" % scenario_id)
@@ -331,15 +337,20 @@ def run_scenario(scenario_id, seed, verbose=False):
             # next accept — land in the outage and must recover.
             yield accepted
             yield net.sim.timeout(5_000)
+            net.sim.flight.note("control", "%s crash" % backend_a.name)
             backend_a.crash()
             yield net.sim.timeout(1_200_000)
+            net.sim.flight.note("control", "%s restart" % backend_a.name)
             backend_a.restart()
         procs.append(controller())
 
+    net.sim.flight.note("chaos", "scenario %s seed %d" % (scenario_id, seed))
     violations = []
+    deadlock_exc = None
     try:
         net.run_all(procs, until=BOUND)
     except Deadlock as exc:
+        deadlock_exc = exc
         violations.append("stuck process (deadlock at %dus): %s"
                           % (net.sim.now, exc))
     except Exception as exc:  # a clean error is still a violation here
@@ -350,6 +361,20 @@ def run_scenario(scenario_id, seed, verbose=False):
         violations.extend(
             _check_invariants(net, pa, pb, [api_a, api_b] + extra_apis,
                               wplan, cplan, family, outage, checks))
+
+    if violations and post_mortem:
+        from repro.trace.flight import chrome_trace, timeline
+        text = timeline(net.sim.flight,
+                        blocked=getattr(deadlock_exc, "blocked", ()),
+                        title="chaos %s seed %d" % (scenario_id, seed))
+        with open(post_mortem, "w") as fh:
+            fh.write(text + "\n")
+            for violation in violations:
+                fh.write("violation: %s\n" % violation)
+        with open(post_mortem + ".json", "w") as fh:
+            json.dump(chrome_trace(net.sim.flight), fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
 
     counters = {"wire": wplan.counters()}
     if cplan is not None:
@@ -456,12 +481,24 @@ def _check_invariants(net, pa, pb, apis, wplan, cplan, family, outage, checks):
     return violations
 
 
-def run_matrix(scenario_ids, seeds, verbose=False):
-    """Run scenarios x seeds; returns the list of result dicts."""
+def run_matrix(scenario_ids, seeds, verbose=False, post_mortem_dir=None):
+    """Run scenarios x seeds; returns the list of result dicts.
+
+    ``post_mortem_dir`` names a directory that receives one flight-
+    recorder dump per *violated* run (clean runs write nothing)."""
     results = []
+    if post_mortem_dir:
+        os.makedirs(post_mortem_dir, exist_ok=True)
     for scenario_id in scenario_ids:
         for seed in seeds:
-            result = run_scenario(scenario_id, seed, verbose=verbose)
+            post_mortem = None
+            if post_mortem_dir:
+                post_mortem = os.path.join(
+                    post_mortem_dir,
+                    "%s-seed%d.flight" % (scenario_id.replace("/", "_"),
+                                          seed))
+            result = run_scenario(scenario_id, seed, verbose=verbose,
+                                  post_mortem=post_mortem)
             results.append(result)
             status = "ok" if result["ok"] else "VIOLATION"
             line = "%-32s seed %-3d %s" % (scenario_id, seed, status)
@@ -497,6 +534,40 @@ def summarize(results):
     }
 
 
+def _induce_deadlock(post_mortem):
+    """A flight-recorder smoke used by CI: spawn a process that waits on
+    an event nobody will ever trigger, catch the resulting Deadlock, and
+    dump the post-mortem.  Exits 0 when the dump names the stuck
+    process — this is a test *of the recorder*, not of the matrix."""
+    from repro.sim.engine import Simulator
+    from repro.trace.flight import dump_deadlock
+
+    sim = Simulator()
+    sim.flight.note("chaos", "induced-deadlock smoke")
+
+    def stuck():
+        yield sim.event("never-fires")
+
+    sim.spawn(stuck(), name="stuck-proc")
+    try:
+        sim.run(detect_deadlock=True)
+    except Deadlock as exc:
+        if post_mortem:
+            text = dump_deadlock(sim.flight, exc, post_mortem)
+        else:
+            from repro.trace.flight import timeline
+            text = timeline(sim.flight, blocked=exc.blocked,
+                            title="deadlock post-mortem")
+        print(text)
+        ok = "stuck-proc" in text
+        print("induce-deadlock: %s" % ("dump names the stuck process"
+                                       if ok else "DUMP IS INCOMPLETE"))
+        return 0 if ok else 1
+    print("induce-deadlock: the toy simulation failed to deadlock",
+          file=sys.stderr)
+    return 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.chaos",
@@ -513,6 +584,13 @@ def main(argv=None):
                         help="run the full matrix")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write results as JSON")
+    parser.add_argument("--post-mortem", metavar="PATH", default=None,
+                        help="flight-recorder dump target: a directory "
+                             "(one file per violated run), or the output "
+                             "file for --induce-deadlock")
+    parser.add_argument("--induce-deadlock", action="store_true",
+                        help="smoke test the flight recorder: deadlock a "
+                             "toy simulation on purpose and dump its ring")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -520,6 +598,9 @@ def main(argv=None):
         for scenario_id in all_scenarios():
             print(scenario_id)
         return 0
+
+    if args.induce_deadlock:
+        return _induce_deadlock(args.post_mortem)
 
     if args.scenario:
         known = set(all_scenarios())
@@ -535,7 +616,8 @@ def main(argv=None):
         scenario_ids = list(CI_SCENARIOS)
     seeds = tuple(args.seed) if args.seed else DEFAULT_SEEDS
 
-    results = run_matrix(scenario_ids, seeds, verbose=args.verbose)
+    results = run_matrix(scenario_ids, seeds, verbose=args.verbose,
+                         post_mortem_dir=args.post_mortem)
     summary = summarize(results)
     print("chaos: %(runs)d runs, %(failed_runs)d failed, "
           "%(violations)d violations; %(rpc_retries)d RPC retries, "

@@ -70,11 +70,27 @@ class _Candidate:
         self.seq = seq
 
 
+def _span_key(span):
+    return (span.start, span.cost, span.owner, span.layer, span.trace_id)
+
+
+def _wait_key(wait):
+    return (wait.start, wait.cost, wait.owner, wait.layer, wait.kind,
+            wait.trace_id)
+
+
 def collect_request_spans(tracer, request_tracer):
     """Group retained spans/waits by request id.
 
-    Returns ``{req_id: (cpu_spans, wait_spans)}`` with ring order
-    preserved (chronological per ring).
+    Returns ``{req_id: (cpu_spans, wait_spans)}`` with each request's
+    lists in *canonical content order* — sorted by ``(start, cost,
+    owner, layer, [kind,] trace_id)`` rather than raw ring order.  Ring
+    order is backend-dependent: a run merged from island processes
+    interleaves per-island rings, and same-tick spans from different
+    islands have no meaningful relative order.  Sorting by content in
+    every mode makes downstream tie-breaks (``_Candidate.seq``) and
+    exemplar span listings identical between single-process and
+    ``--parallel`` runs.
     """
     tid_to_req = request_tracer.tid_to_req
     grouped = {}
@@ -86,6 +102,9 @@ def collect_request_spans(tracer, request_tracer):
         req = tid_to_req.get(wait.trace_id)
         if req is not None:
             grouped.setdefault(req, ([], []))[1].append(wait)
+    for cpu_spans, wait_spans in grouped.values():
+        cpu_spans.sort(key=_span_key)
+        wait_spans.sort(key=_wait_key)
     return grouped
 
 

@@ -182,6 +182,15 @@ def format_control_report(report):
         "%d stalled, %d failed" % (srv["replays_served"],
                                    srv["duplicates_held"],
                                    srv["ops_stalled"], srv["ops_failed"]))
+    for op, row in sorted((srv.get("op_latency") or {}).items()):
+        lines.append(
+            "  op %-20s %6d calls  mean %10.1fus  p99 %10.0fus  "
+            "max %10.0fus" % (op, row["count"], row["mean_us"],
+                              row["p99_us"], row["max_us"]))
+    for entry in srv.get("slow_ops") or ():
+        lines.append(
+            "  slow op %-15s at %14.1fus took %10.1fus"
+            % (entry["op"], entry["t_us"], entry["us"]))
     for row in report["apps"]:
         breaker = row.get("breaker")
         state = breaker["state"] if breaker else "off"

@@ -38,6 +38,7 @@ from math import fsum
 
 from repro.analysis.timeseries import percentiles
 from repro.hw.wire import frame_wire_bytes
+from repro.metrics.registry import state_cell_block
 from repro.sim.parallel import (
     harden_cut_wires,
     parallel_note,
@@ -52,7 +53,11 @@ from repro.world.topology import (
     build_world,
     warm_arp,
 )
-from repro.world.workload import WorkloadSpec, run_workload
+from repro.world.workload import (
+    WorkloadSpec,
+    run_workload,
+    settle_telemetry,
+)
 
 SCHEMA = "repro-tailstudy/1"
 
@@ -74,21 +79,25 @@ def rate_for_load(load, spec_args):
 
 
 def run_cell(topology_args, workload_args, placement, load,
-             forensics=None, parallel=0):
+             forensics=None, parallel=0, metrics=False):
     """One (placement, load) cell: fresh world, one workload run.
 
     ``forensics`` (a dict of ``sample_every`` / ``capacity`` /
     ``exemplars``) turns on sampled request tracing for the run and
     adds a per-cell latency-attribution block to the result.
+    ``metrics`` adds a per-cell block of the world's metrics registry
+    (counters, gauges, histograms, tcp_probe series).
 
     ``parallel`` >= 2 asks for the multi-process island backend
     (:mod:`repro.sim.parallel`): the world is cut at router-to-router
     links and each group of islands runs in its own worker process.
-    Results are bit-identical to the single-process run; worlds with no
-    extractable islands (e.g. a star), TCP workloads, and forensic runs
-    fall back to single-process with a note on stderr.  Every mode —
-    including plain single-process — runs the plan's cut wires full
-    duplex, so the two backends stay schedule-equivalent.
+    Results — including forensics attribution and merged metrics — are
+    bit-identical to the single-process run; worlds with no extractable
+    islands (e.g. a star) and TCP workloads fall back to
+    single-process, with the reason both noted on stderr and recorded
+    in the cell's ``backend`` block.  Every mode — including plain
+    single-process — runs the plan's cut wires full duplex, so the two
+    backends stay schedule-equivalent.
     """
     cell_start = time.monotonic()
     tspec = TopologySpec(placement=placement, **topology_args)
@@ -102,31 +111,52 @@ def run_cell(topology_args, workload_args, placement, load,
         rt = RequestTracer(world.tracer,
                            sample_every=forensics["sample_every"],
                            seed=topology_args["seed"])
+    telemetry = None
+    if forensics is not None or metrics:
+        telemetry = {
+            "forensics": (None if forensics is None else {
+                "sample_every": forensics["sample_every"],
+                "capacity": forensics["capacity"],
+                "seed": topology_args["seed"],
+            }),
+            "metrics": bool(metrics),
+        }
     rate = rate_for_load(load, dict(workload_args,
                                     us_per_byte=tspec.us_per_byte))
     wspec = WorkloadSpec(rate_per_client=float(rate), **workload_args)
 
     outcome = None
+    backend = {"mode": "single", "workers": None, "fallback": None}
     if parallel and parallel >= 2:
-        if forensics is not None:
-            parallel_note("forensic tracing is single-process")
-        elif wspec.proto != "udp":
-            parallel_note("TCP start-up synchronizes in process")
+        if wspec.proto != "udp":
+            backend["fallback"] = "TCP start-up synchronizes in process"
         elif not plan.parallelizable:
-            parallel_note("no islands to cut in this %s world"
-                          % tspec.kind)
+            backend["fallback"] = ("no islands to cut in this %s world"
+                                   % tspec.kind)
         else:
             outcome = run_parallel_workload(
                 topology_args, placement, wspec, plan, parallel,
                 log=lambda m: print("tailstudy: %s" % m,
-                                    file=sys.stderr))
+                                    file=sys.stderr),
+                telemetry=telemetry)
             if outcome is None:
-                parallel_note("plan packs into a single worker")
+                backend["fallback"] = "plan packs into a single worker"
+        if backend["fallback"] is not None:
+            parallel_note(backend["fallback"])
+    merged = None
     if outcome is not None:
-        result, fingerprint, _nworkers = outcome
+        result, fingerprint, nworkers, merged = outcome
+        backend["mode"] = "parallel"
+        backend["workers"] = nworkers
     else:
+        t0 = world.sim.now
         result = run_workload(world, wspec, request_tracer=rt)
         fingerprint = world.fingerprint()
+        if telemetry is not None:
+            # Same canonical snapshot instant the island workers use.
+            settle_telemetry(
+                world.sim,
+                t0 + 1000.0 + wspec.window_us + wspec.drain_us)
 
     pcts = percentiles(result.latencies_us,
                        tuple(p for p, _name in PERCENTILES))
@@ -149,10 +179,19 @@ def run_cell(topology_args, workload_args, placement, load,
         "world_fingerprint": fingerprint,
         "wallclock_seconds": round(time.monotonic() - cell_start, 3),
     }
-    if rt is not None:
+    if forensics is not None:
+        tracer_view, requests_view = world.tracer, rt
+        if merged is not None:
+            tracer_view = merged["trace"]
+            requests_view = merged["requests"]
         cell["forensics"] = cell_forensics(
-            world.tracer, rt, p99_us=pcts[0.99],
+            tracer_view, requests_view, p99_us=pcts[0.99],
             exemplar_cap=forensics["exemplars"])
+    if metrics:
+        state = (merged["metrics"] if merged is not None
+                 else world.metrics.export_state(island=0))
+        cell["metrics"] = state_cell_block(state)
+    cell["backend"] = backend
     return cell
 
 
@@ -167,8 +206,10 @@ def strip_volatile(document):
     doc = json.loads(json.dumps(document))
     doc.pop("wallclock_seconds", None)
     doc.pop("parallel", None)
+    doc.pop("parallel_fallbacks", None)
     for cell in doc.get("results", ()):
         cell.pop("wallclock_seconds", None)
+        cell.pop("backend", None)
     return doc
 
 
@@ -268,6 +309,11 @@ def main(argv=None):
     parser.add_argument("--forensics", action="store_true",
                         help="trace sampled requests; adds a per-cell "
                              "latency-attribution block")
+    parser.add_argument("--metrics", action="store_true",
+                        help="export the world's metrics registry "
+                             "(counters/gauges/histograms/series) as a "
+                             "per-cell block; island-merged under "
+                             "--parallel")
     parser.add_argument("--sample-every", type=int, default=16,
                         help="trace 1-in-N request ids (default 16)")
     parser.add_argument("--trace-capacity", type=int, default=1 << 18,
@@ -329,7 +375,8 @@ def main(argv=None):
     for placement in placements:
         for load in loads:
             cell = run_cell(topology_args, workload_args, placement, load,
-                            forensics=forensics, parallel=args.parallel)
+                            forensics=forensics, parallel=args.parallel,
+                            metrics=args.metrics)
             results.append(cell)
             print("tailstudy: %-14s load %.2f  issued %5d  completed %5d"
                   "  p99 %s us  (%.3f s)"
@@ -349,9 +396,15 @@ def main(argv=None):
                 "sample_every": (args.sample_every
                                  if forensics is not None else None),
             },
+            "metrics": {"enabled": bool(args.metrics)},
         },
         "results": results,
         "parallel": args.parallel,
+        # Why any cell left the requested --parallel backend (volatile:
+        # stripped, like "parallel", before determinism comparisons).
+        "parallel_fallbacks": sorted(
+            {c["backend"]["fallback"] for c in results
+             if c["backend"]["fallback"]}),
         "wallclock_seconds": round(time.time() - started, 3),
     }
     if args.output:

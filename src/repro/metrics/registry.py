@@ -46,6 +46,19 @@ class Counter:
     def inc(self, n=1):
         self.value += n
 
+    def snapshot(self, island=0):
+        """Mergeable state, stamped with its island of origin."""
+        return {"type": "counter", "name": self.name,
+                "islands": [island], "value": self.value}
+
+    @staticmethod
+    def merge(a, b):
+        """Counters are island-additive: values sum."""
+        _check_mergeable(a, b, "counter")
+        return {"type": "counter", "name": a["name"],
+                "islands": _union_islands(a, b),
+                "value": a["value"] + b["value"]}
+
     def __repr__(self):
         return "<Counter %s=%d>" % (self.name, self.value)
 
@@ -72,6 +85,35 @@ class Gauge:
         """Pull gauges: read the callable and record its value."""
         if self.fn is not None:
             self.record(self.fn())
+
+    def snapshot(self, island=0):
+        """Mergeable state: every sample carries ``(island, seq)``
+        provenance so merges are deterministic and order-insensitive."""
+        samples = [[island, seq, t, v]
+                   for seq, (t, v) in enumerate(self.samples)]
+        return {"type": "gauge", "name": self.name, "islands": [island],
+                "pull": self.fn is not None, "value": self.value,
+                "recorded": self.recorded, "samples": samples}
+
+    @staticmethod
+    def merge(a, b):
+        """Values sum (valid for island-exclusive or island-additive
+        gauges — the exporter's ownership filter guarantees one of the
+        two); histories merge-sort by ``(t, island, seq)``."""
+        _check_mergeable(a, b, "gauge")
+        if a["value"] is None:
+            value = b["value"]
+        elif b["value"] is None:
+            value = a["value"]
+        else:
+            value = a["value"] + b["value"]
+        samples = sorted(a["samples"] + b["samples"],
+                         key=lambda s: (s[2], s[0], s[1]))
+        return {"type": "gauge", "name": a["name"],
+                "islands": _union_islands(a, b),
+                "pull": a["pull"] or b["pull"], "value": value,
+                "recorded": a["recorded"] + b["recorded"],
+                "samples": samples}
 
     def __repr__(self):
         return "<Gauge %s=%r>" % (self.name, self.value)
@@ -126,8 +168,12 @@ class Histogram:
                 return min(max(edge, self.min), self.max)
         return self.max
 
-    def snapshot(self):
+    def snapshot(self, island=0):
         return {
+            "type": "histogram",
+            "name": self.name,
+            "islands": [island],
+            "counts": list(self.counts),
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -136,6 +182,23 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p99": self.percentile(0.99),
         }
+
+    @staticmethod
+    def merge(a, b):
+        """Histograms are island-additive: bucket counts and exact
+        count/sum add, min/max combine, derived stats recompute."""
+        _check_mergeable(a, b, "histogram")
+        merged = Histogram(a["name"])
+        merged.counts = [x + y for x, y in zip(a["counts"], b["counts"])]
+        merged.count = a["count"] + b["count"]
+        merged.total = a["sum"] + b["sum"]
+        lows = [v for v in (a["min"], b["min"]) if v is not None]
+        highs = [v for v in (a["max"], b["max"]) if v is not None]
+        merged.min = min(lows) if lows else None
+        merged.max = max(highs) if highs else None
+        snap = merged.snapshot()
+        snap["islands"] = _union_islands(a, b)
+        return snap
 
     def __repr__(self):
         return "<Histogram %s n=%d>" % (self.name, self.count)
@@ -164,8 +227,126 @@ class TimeSeries:
         index = self.fields.index(field) + 1
         return [(s[0], s[index]) for s in self.samples]
 
+    def snapshot(self, island=0):
+        """Mergeable state with per-sample ``(island, seq)`` provenance."""
+        samples = [[island, seq] + list(s)
+                   for seq, s in enumerate(self.samples)]
+        return {"type": "timeseries", "name": self.name,
+                "islands": [island], "fields": list(self.fields),
+                "recorded": self.recorded, "samples": samples}
+
+    @staticmethod
+    def merge(a, b):
+        """Series merge-sort by ``(t, island, seq)``, preserving which
+        island produced each sample."""
+        _check_mergeable(a, b, "timeseries")
+        if a["fields"] != b["fields"]:
+            raise ValueError("cannot merge series %r: fields %r != %r"
+                             % (a["name"], a["fields"], b["fields"]))
+        samples = sorted(a["samples"] + b["samples"],
+                         key=lambda s: (s[2], s[0], s[1]))
+        return {"type": "timeseries", "name": a["name"],
+                "islands": _union_islands(a, b),
+                "fields": list(a["fields"]),
+                "recorded": a["recorded"] + b["recorded"],
+                "samples": samples}
+
     def __repr__(self):
         return "<TimeSeries %s n=%d>" % (self.name, self.recorded)
+
+
+# ----------------------------------------------------------------------
+# Snapshot merge algebra
+# ----------------------------------------------------------------------
+
+def _check_mergeable(a, b, kind):
+    if a["type"] != kind or b["type"] != kind:
+        raise ValueError("cannot merge %r with %r"
+                         % (a["type"], b["type"]))
+    if a["name"] != b["name"]:
+        raise ValueError("cannot merge %r with %r (different metrics)"
+                         % (a["name"], b["name"]))
+
+
+def _union_islands(a, b):
+    return sorted(set(a["islands"]) | set(b["islands"]))
+
+
+_MERGERS = {
+    "counter": Counter.merge,
+    "gauge": Gauge.merge,
+    "histogram": Histogram.merge,
+    "timeseries": TimeSeries.merge,
+}
+
+
+def merge_snapshots(a, b):
+    """Merge two mergeable metric snapshots of the same metric.
+
+    Deterministic and order-insensitive: ``merge(a, b) == merge(b, a)``
+    and merging is associative, because values combine commutatively
+    (sums, min/max) and sample histories sort by the total key
+    ``(t, island, seq)``.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return _MERGERS[a["type"]](a, b)
+
+
+def merge_states(states):
+    """Fold per-island registry states (:meth:`MetricsRegistry.
+    export_state`) into one merged state with the union of provenance."""
+    out = {"islands": [], "metrics": {}}
+    for state in states:
+        if state is None:
+            continue
+        out["islands"] = sorted(set(out["islands"]) | set(state["islands"]))
+        for name, snap in state["metrics"].items():
+            out["metrics"][name] = merge_snapshots(
+                out["metrics"].get(name), snap)
+    return out
+
+
+def state_cell_block(state):
+    """Canonical, provenance-free JSON block for run reports.
+
+    Pull gauges export only their final value: their sample *histories*
+    depend on which stacks' slow ticks fired in the exporting process,
+    which is a backend execution detail — the values themselves are
+    sampled at a canonical settled instant and are backend-invariant.
+    Push gauges and series export their full histories.
+    """
+    block = {"counters": {}, "gauges": {}, "pull": {},
+             "histograms": {}, "series": {}}
+    for name in sorted(state["metrics"]):
+        snap = state["metrics"][name]
+        kind = snap["type"]
+        if kind == "counter":
+            block["counters"][name] = snap["value"]
+        elif kind == "gauge":
+            if snap["pull"]:
+                block["pull"][name] = snap["value"]
+            else:
+                block["gauges"][name] = {
+                    "value": snap["value"],
+                    "recorded": snap["recorded"],
+                    "samples": [[s[2], s[3]] for s in snap["samples"]],
+                }
+        elif kind == "histogram":
+            block["histograms"][name] = {
+                key: snap[key]
+                for key in ("count", "sum", "min", "max", "mean",
+                            "p50", "p99", "counts")
+            }
+        else:
+            block["series"][name] = {
+                "fields": list(snap["fields"]),
+                "recorded": snap["recorded"],
+                "samples": [s[2:] for s in snap["samples"]],
+            }
+    return block
 
 
 class MetricsRegistry:
@@ -395,6 +576,29 @@ class MetricsRegistry:
                 yield name, metric.fields, list(metric.samples)
             elif isinstance(metric, Gauge) and metric.samples:
                 yield name, ("value",), list(metric.samples)
+
+    def export_state(self, island=0, owns=None):
+        """Mergeable state of the whole registry for island ``island``.
+
+        ``owns`` is an optional predicate on metric names: a parallel
+        worker passes one that keeps only the metrics its island is
+        authoritative for (its hosts' and internal wires' gauges) or
+        contributes to additively (cut-wire counters, global
+        histograms), so that :func:`merge_states` over all islands
+        reproduces the single-process registry exactly.
+
+        Takes a final pull sample first (deduplicated by instant); call
+        it only once the simulation has settled at a canonical instant,
+        or pull-gauge values will reflect whatever ``sim.now`` happens
+        to be.
+        """
+        self.sample()
+        metrics = {}
+        for name in sorted(self._metrics):
+            if owns is not None and not owns(name):
+                continue
+            metrics[name] = self._metrics[name].snapshot(island)
+        return {"islands": [island], "metrics": metrics}
 
     def snapshot(self):
         """A structured, name-sorted snapshot of current levels (takes a

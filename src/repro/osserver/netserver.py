@@ -78,6 +78,10 @@ def config_from_opts(stack, opts):
 class NetServer(UnixServer):
     """The paper's OS server: UX plus the proxy/migration interface."""
 
+    #: proxy_select parks on app-supplied timeouts just like UX select,
+    #: so it is latency-tracked but exempt from the slow-op log.
+    SLOW_OP_EXEMPT = UnixServer.SLOW_OP_EXEMPT | {"proxy_select"}
+
     def __init__(self, host, accounting=None, tcp_defaults=None,
                  heavyweight_sync=True, name=None):
         super().__init__(

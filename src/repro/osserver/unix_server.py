@@ -9,9 +9,11 @@ package — the two effects Table 4 charges the server placement for.
 """
 
 import random
+from collections import deque
 from itertools import count
 
 from repro.filter.compile import compile_ip_protocol_filter
+from repro.metrics.registry import Histogram
 from repro.hw.cpu import Priority
 from repro.kernel.ipc import MessagePort, RPCPort
 from repro.kernel.kernel import IPCDelivery
@@ -43,9 +45,22 @@ REMAP_PER_BYTE = 0.024
 #: against re-registered state, which is the documented semantics).
 REPLAY_CACHE_LIMIT = 512
 
+#: An op taking longer than this (simulated microseconds, dispatch to
+#: reply-ready) earns an entry in the bounded slow-op log.
+SLOW_OP_US = 5_000.0
+
+#: Slow-op log capacity: newest entries win, flight-recorder style.
+SLOW_OP_LOG = 32
+
 
 class UnixServer:
     """A user-level UNIX server owning the host's protocol stack."""
+
+    #: Ops that park by design (app-supplied timeouts), so a long stay
+    #: is expected, not anomalous: they still feed the per-op latency
+    #: histograms but never the slow-op log, which would otherwise fill
+    #: with by-contract waits and evict the genuinely slow entries.
+    SLOW_OP_EXEMPT = frozenset({"select"})
 
     def __init__(self, host, accounting=None, tcp_defaults=None,
                  heavyweight_sync=True, catch_all_filter=True, name=None):
@@ -79,6 +94,12 @@ class UnixServer:
         self.duplicates_held = 0
         self.ops_stalled = 0
         self.ops_failed = 0
+        #: Per-op service latency (dispatch to reply-ready): one
+        #: log-bucket histogram per RPC op, plus a bounded ring of the
+        #: slowest recent ops.  Cumulative across restarts, like the
+        #: counters above; replayed duplicates are not re-counted.
+        self.op_latency = {}
+        self.slow_ops = deque(maxlen=SLOW_OP_LOG)
         self._boot()
         metrics = getattr(host, "metrics", None)
         if metrics is not None:
@@ -209,6 +230,7 @@ class UnixServer:
                     return
                 self._replay_inflight[rid] = []
             crash_after = None
+            t0 = self.host.sim.now
             try:
                 faults = self.rpc.faults
                 if faults is not None:
@@ -236,6 +258,13 @@ class UnixServer:
                 return  # server crashed mid-op; the client's wait already failed
             except Exception as exc:  # noqa: BLE001 - errno travels back by RPC
                 result, reply_len = exc, 0
+            elapsed = self.host.sim.now - t0
+            hist = self.op_latency.get(message.op)
+            if hist is None:
+                hist = self.op_latency[message.op] = Histogram(message.op)
+            hist.observe(elapsed)
+            if elapsed >= SLOW_OP_US and message.op not in self.SLOW_OP_EXEMPT:
+                self.slow_ops.append((t0, message.op, elapsed))
             if crash_after == "after":
                 # Side effects done, reply lost: the at-least-once window
                 # that the replay/re-registration machinery must cover.
@@ -462,6 +491,15 @@ class UnixServer:
             "ops_failed": self.ops_failed,
             "generation": getattr(self, "generation", 0),
             "crashes": getattr(self, "crashes", 0),
+            "op_latency": {
+                op: {"count": hist.count,
+                     "mean_us": round(hist.mean(), 3),
+                     "p99_us": hist.percentile(0.99),
+                     "max_us": hist.max}
+                for op, hist in sorted(self.op_latency.items())
+            },
+            "slow_ops": [{"t_us": t, "op": op, "us": elapsed}
+                         for t, op, elapsed in self.slow_ops],
         }
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from itertools import count
 from repro.sim.errors import Deadlock
 from repro.sim.events import PENDING, Event
 from repro.sim.process import Process, Timeout
+from repro.trace.flight import FlightRecorder
 
 
 class Simulator:
@@ -51,6 +52,10 @@ class Simulator:
         #: advanced, or None between resumes.  Synchronous callbacks (CPU
         #: accounting, tracing) read this to attribute work to a process.
         self.current = None
+        #: Always-on flight recorder (see :mod:`repro.trace.flight`):
+        #: spawn/exit events are appended inline below; layers note
+        #: their own rare events via ``sim.flight.note(...)``.
+        self.flight = FlightRecorder(self)
 
     @property
     def now(self):
@@ -113,11 +118,19 @@ class Simulator:
         self._live.add(proc)
         proc.add_callback(self._process_done)
         self.call_soon(proc._resume, None, proc._wait_token)
+        # Inline flight-recorder append (bounded deque; no method call
+        # on this path — see repro.trace.flight for the rationale).
+        flight = self.flight
+        flight.recorded += 1
+        flight.events.append((self._now, "spawn", name))
         return proc
 
     def _process_done(self, event):
         self._live_processes -= 1
         self._live.discard(event)
+        flight = self.flight
+        flight.recorded += 1
+        flight.events.append((self._now, "exit", event.name))
 
     def _blocked_report(self):
         """(name, waiting-on) pairs for every live process, for Deadlock
@@ -194,6 +207,7 @@ class Simulator:
                 "%d process(es) blocked with no scheduled events"
                 % self._live_processes,
                 blocked=self._blocked_report(),
+                flight=self.flight.snapshot(),
             )
 
     def run_process(self, generator, until=None, name=""):
@@ -212,7 +226,8 @@ class Simulator:
             step()
         if not proc.triggered:
             raise Deadlock("process %r did not finish" % (name or proc),
-                           blocked=self._blocked_report())
+                           blocked=self._blocked_report(),
+                           flight=self.flight.snapshot())
         if not proc.ok:
             raise proc.value
         return proc.value
@@ -286,7 +301,8 @@ class Simulator:
         for proc in procs:
             if not proc.triggered:
                 raise Deadlock("process %r did not finish" % proc,
-                               blocked=self._blocked_report())
+                               blocked=self._blocked_report(),
+                               flight=self.flight.snapshot())
             if not proc.ok:
                 raise proc.value
             results.append(proc.value)

@@ -25,10 +25,16 @@ class Deadlock(SimulationError):
     ``blocked`` is a sequence of ``(process_name, waiting_on)`` pairs — one
     per live process, naming the primitive it is blocked on — rendered into
     the message so a hang is debuggable from the exception alone.
+
+    ``flight`` carries the engine's flight-recorder ring (a tuple of
+    ``(t_us, kind, detail)`` events, oldest first) captured at raise
+    time, so the moments *leading up to* the hang survive with the
+    exception; see :mod:`repro.trace.flight` for rendering helpers.
     """
 
-    def __init__(self, message, blocked=()):
+    def __init__(self, message, blocked=(), flight=()):
         self.blocked = tuple(blocked)
+        self.flight = tuple(flight)
         if self.blocked:
             message += "".join(
                 "\n  %s <- waiting on %s" % (name, waiting_on)

@@ -186,7 +186,8 @@ class ScaleSimulator(Simulator):
         for proc in procs:
             if not proc.triggered:
                 raise Deadlock("process %r did not finish" % proc,
-                               blocked=self._blocked_report())
+                               blocked=self._blocked_report(),
+                               flight=self.flight.snapshot())
             if not proc.ok:
                 raise proc.value
             results.append(proc.value)

@@ -249,8 +249,15 @@ class TraceRecorder:
             if req_id is None:
                 self.adopt(None)
                 return None
-        trace_id = self._next_id
-        self._next_id += 1
+            # Selective traces get *deterministic* ids — a pure function
+            # of (request, birth role, within-role index) rather than a
+            # process-global counter — so island processes that each see
+            # only part of a request's life assign the same ids the
+            # single-process run would.
+            trace_id = rt.assign_tid(req_id, self._sim.current, host)
+        else:
+            trace_id = self._next_id
+            self._next_id += 1
         self.traces_started += 1
         self._meta[trace_id] = TraceMeta(trace_id, kind, host,
                                          self._sim.now, size)
@@ -341,7 +348,94 @@ class TraceRecorder:
             acc[span.layer] = acc.get(span.layer, 0.0) + span.cost
         return totals
 
+    # ------------------------------------------------------------------
+    # Island export / merge
+    # ------------------------------------------------------------------
+
+    def export_state(self, island=0):
+        """Picklable state of this recorder for cross-process merging.
+
+        Carries the island id, the retained rings, the retained birth
+        metadata, and — critically — the *lifetime* counters, so ring
+        wraps that happened inside an island process survive the merge
+        (the merged view's ``spans_evicted`` / ``lossy`` stay honest
+        instead of silently resetting at the process boundary).
+        """
+        return {
+            "island": island,
+            "capacity": self.capacity,
+            "spans": [(s.trace_id, s.owner, s.layer, s.start, s.cost)
+                      for s in self.spans],
+            "waits": [(w.trace_id, w.owner, w.layer, w.kind, w.start,
+                       w.cost) for w in self.waits],
+            "meta": [(m.trace_id, m.kind, m.host, m.start, m.size)
+                     for m in self._meta.values()],
+            "spans_recorded": self.spans_recorded,
+            "spans_cleared": self.spans_cleared,
+            "waits_recorded": self.waits_recorded,
+            "waits_cleared": self.waits_cleared,
+            "traces_started": self.traces_started,
+        }
+
     def __repr__(self):
         return "<TraceRecorder %s spans=%d/%d traces=%d>" % (
             "on" if self.enabled else "off", len(self.spans),
             self.capacity, self.traces_started)
+
+
+class MergedTraceState:
+    """A read-only, recorder-shaped view over merged island states.
+
+    Exposes exactly the surface :mod:`repro.analysis.forensics` reads —
+    ``spans``, ``waits``, the lifetime counters and the derived
+    ``spans_evicted`` / ``waits_evicted`` / ``lossy`` — computed from
+    the *sums* of the per-island lifetime counters, so a ring that
+    wrapped inside one island still marks the merged view LOSSY.
+    """
+
+    def __init__(self):
+        self.islands = []
+        self.spans = []
+        self.waits = []
+        self._meta = {}
+        self.spans_recorded = 0
+        self.spans_cleared = 0
+        self.waits_recorded = 0
+        self.waits_cleared = 0
+        self.traces_started = 0
+
+    def absorb(self, state):
+        self.islands.append(state["island"])
+        self.spans.extend(Span(*row) for row in state["spans"])
+        self.waits.extend(WaitSpan(*row) for row in state["waits"])
+        for row in state["meta"]:
+            self._meta[row[0]] = TraceMeta(*row)
+        self.spans_recorded += state["spans_recorded"]
+        self.spans_cleared += state["spans_cleared"]
+        self.waits_recorded += state["waits_recorded"]
+        self.waits_cleared += state["waits_cleared"]
+        self.traces_started += state["traces_started"]
+        return self
+
+    spans_evicted = TraceRecorder.spans_evicted
+    waits_evicted = TraceRecorder.waits_evicted
+    lossy = TraceRecorder.lossy
+
+    def meta(self, trace_id):
+        return self._meta.get(trace_id)
+
+    def trace_ids(self):
+        return sorted(self._meta)
+
+    def __repr__(self):
+        return "<MergedTraceState islands=%r spans=%d>" % (
+            self.islands, len(self.spans))
+
+
+def merge_trace_states(states):
+    """Fold per-island :meth:`TraceRecorder.export_state` dicts, in
+    island order, into one :class:`MergedTraceState`."""
+    merged = MergedTraceState()
+    for state in sorted(states, key=lambda s: s["island"]):
+        merged.absorb(state)
+    return merged

@@ -43,6 +43,23 @@ HEADER_BYTES = _HEADER.size
 #: Idle poll granularity for dispatcher loops near the deadline.
 _POLL_US = 50_000.0
 
+#: Slack past the nominal workload end that runners grant wind-down
+#: (client drains, timer expiry, straggler frames).  Telemetry snapshots
+#: settle to exactly ``end + SETTLE_GRACE_US`` in every backend so
+#: time-derived metrics (utilization = busy/now) agree bit-for-bit.
+SETTLE_GRACE_US = 60_000_000.0
+
+
+def settle_telemetry(sim, end):
+    """Drive ``sim`` to the canonical telemetry instant for ``end``.
+
+    Processes every event scheduled up to the instant (late timer pops,
+    boundary straggler deliveries) and pins the clock exactly there, so
+    a single-process run and each island worker export registry and
+    trace snapshots from an identical ``sim.now``.
+    """
+    sim.run(until=end + SETTLE_GRACE_US)
+
 
 # ----------------------------------------------------------------------
 # Seeded samplers (hand-rolled, version-stable)
@@ -243,11 +260,12 @@ def run_workload(world, spec, request_tracer=None):
                         listening, rt=rt)
             for client in sorted(schedules)
         ]
-    world.run_all(clients, until=end + 60_000_000.0)
+    world.run_all(clients, until=end + SETTLE_GRACE_US)
     return result
 
 
-def spawn_udp_partition(world, spec, schedules, result, local_hosts):
+def spawn_udp_partition(world, spec, schedules, result, local_hosts,
+                        request_tracer=None):
     """Spawn the UDP workload for ``local_hosts`` only; don't run it.
 
     The island backend (:mod:`repro.sim.parallel`) builds the full
@@ -261,6 +279,7 @@ def spawn_udp_partition(world, spec, schedules, result, local_hosts):
     client process has triggered.
     """
     sim = world.sim
+    rt = request_tracer
     start = sim.now + 1000.0
     end = start + spec.window_us + spec.drain_us
     for host_index in range(len(world.hosts)):
@@ -271,7 +290,7 @@ def spawn_udp_partition(world, spec, schedules, result, local_hosts):
     clients = [
         sim.spawn(_udp_client(world.new_app(client), sim, spec,
                               schedules[client], world, start, end,
-                              result),
+                              result, rt=rt),
                   name="wl-client-%d" % client)
         for client in sorted(schedules) if client in local_hosts
     ]

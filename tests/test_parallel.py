@@ -129,19 +129,38 @@ _WORKLOAD = dict(proto="udp", seed=21, clients=0, fanout=2,
                  window_us=200_000.0, drain_us=150_000.0)
 
 
-def _cells(kind, parallel, **overrides):
+def _cells(kind, parallel, forensics=None, metrics=False, **overrides):
     targs = dict(_TOPOLOGY, kind=kind)
     wargs = dict(_WORKLOAD, **overrides)
     cell = tailstudy.run_cell(targs, wargs, "mach25", 0.1,
-                              parallel=parallel)
+                              parallel=parallel, forensics=forensics,
+                              metrics=metrics)
+    # The volatile keys strip_volatile removes from full documents.
     cell.pop("wallclock_seconds")
-    return cell
+    backend = cell.pop("backend")
+    return cell, backend
 
 
 def test_wan_parallel_matches_single_process_bit_for_bit():
-    single = _cells("wan", 0)
-    parallel = _cells("wan", 2)
+    single, _ = _cells("wan", 0)
+    parallel, backend = _cells("wan", 2)
     assert single["completed"] > 0
+    assert backend == {"mode": "parallel", "workers": 2, "fallback": None}
+    assert json.dumps(single, sort_keys=True) == \
+        json.dumps(parallel, sort_keys=True)
+
+
+def test_wan_parallel_telemetry_matches_single_process_bit_for_bit():
+    # The distributed-telemetry contract: forensics attribution and the
+    # merged metrics block from two island workers are byte-identical
+    # to the single-process run of the same seeded cell.
+    forensics = {"sample_every": 4, "capacity": 1 << 18, "exemplars": 3}
+    single, _ = _cells("wan", 0, forensics=forensics, metrics=True)
+    parallel, backend = _cells("wan", 2, forensics=forensics, metrics=True)
+    assert backend["mode"] == "parallel"
+    assert single["forensics"]["requests_sampled"] > 0
+    assert single["forensics"]["attribution"]["requests"] > 0
+    assert single["metrics"]["pull"] and single["metrics"]["gauges"]
     assert json.dumps(single, sort_keys=True) == \
         json.dumps(parallel, sort_keys=True)
 
@@ -159,14 +178,19 @@ def test_star_falls_back_and_stays_bit_identical(capsys):
     assert "falling back" in capsys.readouterr().err
     assert single["completed"] > 0
     assert single["world_fingerprint"] == parallel["world_fingerprint"]
-    single.pop("wallclock_seconds")
-    parallel.pop("wallclock_seconds")
+    assert parallel["backend"]["mode"] == "single"
+    assert "no islands to cut" in parallel["backend"]["fallback"]
+    for cell in (single, parallel):
+        cell.pop("wallclock_seconds")
+        cell.pop("backend")
     assert json.dumps(single, sort_keys=True) == \
         json.dumps(parallel, sort_keys=True)
 
 
 def test_tcp_workload_falls_back(capsys):
-    cell = _cells("wan", 2, proto="tcp", window_us=120_000.0,
-                  drain_us=100_000.0)
+    cell, backend = _cells("wan", 2, proto="tcp", window_us=120_000.0,
+                           drain_us=100_000.0)
     assert "falling back" in capsys.readouterr().err
+    assert backend["mode"] == "single"
+    assert "TCP" in backend["fallback"]
     assert cell["issued"] > 0
